@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Tables
+are printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<name>.txt`` so the numbers survive the run; the
+EXPERIMENTS.md paper-vs-measured log is compiled from those files.
+
+``REPRO_BENCH_SCALE`` (float, default 1.0) scales trace sizes down for
+quick iteration: ``REPRO_BENCH_SCALE=0.1 pytest benchmarks/ ...`` replays
+one tenth of each trace.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale_factor() -> float:
+    """Trace-size multiplier from the REPRO_BENCH_SCALE env var."""
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return max(scale, 0.001)
+
+
+def scaled(requests: int) -> int:
+    """Scale a paper request count by REPRO_BENCH_SCALE (min 50)."""
+    return max(int(requests * scale_factor()), 50)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    sys.stdout.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def once(benchmark, func):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    Whole-trace replays are minutes long; calibrated multi-round timing is
+    neither feasible nor meaningful for them.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,164 @@
+"""Baseline comparison — the paper's introduction, quantified.
+
+Three ways to handle the same dynamic-traffic trace:
+
+* **plain proxy-caching** — dynamic documents are uncachable; nothing is
+  saved on them (the paper's "hit rates are usually around 40 %" applies
+  to mixed traffic; on purely dynamic traffic the proxy is useless);
+* **HPP template-splitting** (Douglis et al., paper's [6]) — "2 to 8 times
+  smaller" transfers;
+* **class-based delta-encoding** (this paper) — "less efficient ...
+  delta-encoding exploits more redundancy than this scheme".
+
+The workload is the regime the paper is actually about: personalized
+session URLs (one URL-request per (user, page) pair) over a catalog that
+revises hourly.  HPP's handicaps are structural there: its template is
+keyed by URL, so every user-session URL trains and stores its *own*
+template (the per-document state blow-up class-based grouping exists to
+avoid), and the template is fixed at training time, so catalog revisions
+permanently migrate the detail block into the per-request bindings, while
+the delta-server just rebases.
+"""
+
+from _util import emit, once, scale_factor, scaled
+
+from repro.baselines.hpp import HPPServer
+from repro.baselines.plain_proxy import replay_plain_proxy
+from repro.core import AnonymizationConfig, BaseFileConfig, DeltaServerConfig
+from repro.http.messages import Request
+from repro.metrics import fmt_factor, fmt_pct, render_table
+from repro.origin import OriginServer, SiteSpec, SyntheticSite
+from repro.simulation import Simulation, SimulationConfig
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def make_site() -> SyntheticSite:
+    # The site edits its catalog hourly (detail_revision_seconds): the slow
+    # structural drift that separates the two schemes.  HPP's template is
+    # fixed at training time, so every revision permanently moves the
+    # detail block into the per-request bindings; the delta-server simply
+    # rebases onto a post-revision snapshot.
+    return SyntheticSite(
+        SiteSpec(
+            name="www.base.example",
+            categories=("news",),
+            products_per_category=4,
+            header_bytes=5000,
+            skeleton_bytes=22000,
+            detail_bytes=12000,
+            dynamic_bytes=2200,
+            personal_bytes=1000,
+            detail_revision_seconds=3600.0,
+        )
+    )
+
+
+def make_workload(site: SyntheticSite):
+    return generate_workload(
+        [site],
+        WorkloadSpec(
+            name="baselines",
+            requests=scaled(2500),
+            users=20,
+            duration=4 * 3600.0,
+            revisit_bias=0.75,
+            zipf_alpha=1.0,
+            session_urls=True,
+            logged_in_fraction=1.0,
+        ),
+    )
+
+
+def bench_baseline_comparison(benchmark):
+    def run_all():
+        site = make_site()
+        workload = make_workload(site)
+        trace = [(r.url, r.user, r.timestamp) for r in workload.trace]
+
+        origin = OriginServer([site])
+
+        def fetch(url: str, user: str, now: float) -> bytes:
+            request = Request(url=url, cookies={"uid": user}, client_id=user)
+            return origin.handle(request, now).body
+
+        # 1. plain proxy: every document here is dynamic -> no savings
+        plain = replay_plain_proxy(trace, fetch, is_static=lambda url: False)
+
+        # 2. HPP template splitting
+        hpp = HPPServer(fetch, training_renders=3)
+        for url, user, now in trace:
+            hpp.handle(url, user, now)
+
+        # 3. class-based delta-encoding (fresh identical workload), tuned
+        # for a drifting site: aggressive sampling keeps the candidate
+        # store on the current content generation, and deltas above 20 %
+        # of the document trigger the Section IV basic-rebase recovery.
+        config = SimulationConfig(
+            verify=False,
+            delta=DeltaServerConfig(
+                anonymization=AnonymizationConfig(documents=3, min_count=1),
+                base_file=BaseFileConfig(
+                    sample_probability=0.4,
+                    basic_rebase_ratio=0.2,
+                    rebase_timeout=900.0,
+                ),
+            ),
+        )
+        delta_report = Simulation([site], config).run(make_workload(site))
+        return plain, hpp, delta_report
+
+    plain, hpp, delta_report = once(benchmark, run_all)
+    bw = delta_report.bandwidth
+    # server-side state each scheme must keep to operate
+    hpp_state = sum(len(split.reference) for split in hpp._splits.values())
+    delta_state = delta_report.class_storage_bytes
+    rows = [
+        [
+            "plain proxy-caching",
+            fmt_pct(plain.byte_savings),
+            fmt_factor(1 / max(1 - plain.byte_savings, 1e-9)),
+            "0 KB",
+            "paper: ~0 on dynamic traffic",
+        ],
+        [
+            "HPP template-splitting [6]",
+            fmt_pct(hpp.stats.savings),
+            fmt_factor(hpp.stats.reduction_factor),
+            f"{hpp_state // 1024} KB ({len(hpp._splits)} templates)",
+            "paper: 2-8x smaller",
+        ],
+        [
+            "class-based delta-encoding",
+            fmt_pct(bw.savings),
+            fmt_factor(bw.reduction_factor),
+            f"{delta_state // 1024} KB ({delta_report.classes} classes)",
+            "paper: 20-30x smaller",
+        ],
+    ]
+    emit(
+        "baseline_comparison",
+        render_table(
+            ["scheme", "savings", "reduction", "server state", "paper's claim"],
+            rows,
+            title=(
+                "introduction narrative: personalized session-URL traffic, "
+                "hourly catalog revisions"
+            ),
+        ),
+    )
+    assert plain.byte_savings == 0.0
+    assert hpp.stats.reduction_factor >= 1.5
+    assert bw.reduction_factor >= 1.5
+    # Class-based grouping shares one base across every user's session
+    # URLs; HPP must keep per-document templates — the storage blow-up the
+    # paper's scheme exists to avoid.  This is the robust, scale-free win.
+    assert delta_state < 0.5 * hpp_state
+    # Reproduction note (recorded in EXPERIMENTS.md): our HPP baseline is
+    # deliberately idealized — differ-derived chunk-level templates and
+    # zlib-compressed bindings, neither of which 1997 HPP had — and on
+    # per-request bytes it is competitive with class-based delta-encoding.
+    # The paper's 2-8x figure describes HPP as published; the 20-30x
+    # delta-encoding figure is reproduced in Table II.  What separates the
+    # schemes structurally is the per-document server state above and
+    # drift adaptivity (rebases vs a fixed template), not steady-state
+    # bytes on stable content.

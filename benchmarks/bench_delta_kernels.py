@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the delta substrate's kernels.
+
+Not a paper table — these are the operations whose costs Section VI-C
+discusses (delta generation, compression, client-side reconstruction) on
+paper-sized documents, timed individually so regressions in the hot path
+show up here first.
+"""
+
+import pytest
+
+from repro.delta import (
+    LightEstimator,
+    VdeltaEncoder,
+    apply_delta,
+    checksum,
+    compress,
+    decompress,
+    encode_delta,
+    make_delta,
+)
+from repro.origin import SiteSpec, SyntheticSite
+
+
+@pytest.fixture(scope="module")
+def pair():
+    site = SyntheticSite(
+        SiteSpec(
+            name="www.kern.example",
+            header_bytes=6000,
+            skeleton_bytes=28000,
+            detail_bytes=16000,
+            dynamic_bytes=4000,
+        )
+    )
+    page = site.all_pages()[0]
+    return site.render(page, 0.0), site.render(page, 600.0)
+
+
+def bench_index_build(benchmark, pair):
+    """Hash-index construction over a 50-60 KB base-file."""
+    base, _ = pair
+    encoder = VdeltaEncoder()
+    index = benchmark(lambda: encoder.index(base))
+    assert len(index) > 0
+
+
+def bench_encode_with_index(benchmark, pair):
+    """Delta generation with an amortized index (the server hot path)."""
+    base, document = pair
+    encoder = VdeltaEncoder()
+    index = encoder.index(base)
+    result = benchmark(lambda: encoder.encode_with_index(index, document))
+    assert result.stats.match_ratio > 0.8
+
+
+def bench_one_shot_delta(benchmark, pair):
+    """Index + encode + serialize in one call (cold path)."""
+    base, document = pair
+    payload = benchmark(lambda: make_delta(base, document))
+    assert len(payload) < len(document) * 0.2
+
+
+def bench_apply(benchmark, pair):
+    """Client-side reconstruction ('insignificant' latency, footnote 9)."""
+    base, document = pair
+    payload = make_delta(base, document)
+    out = benchmark(lambda: apply_delta(payload, base))
+    assert out == document
+
+
+def bench_light_estimate(benchmark, pair):
+    """The grouping estimator with a cached index."""
+    base, document = pair
+    estimator = LightEstimator()
+    index = estimator.index(base)
+    estimate = benchmark(lambda: estimator.estimate_with_index(index, document))
+    assert estimate > 0
+
+
+def bench_compress_delta(benchmark, pair):
+    """Gzip-equivalent compression of a raw delta."""
+    base, document = pair
+    encoder = VdeltaEncoder()
+    result = encoder.encode(base, document)
+    wire = encode_delta(result.instructions, len(base), checksum(document))
+    payload = benchmark(lambda: compress(wire))
+    assert decompress(payload) == wire

@@ -1,0 +1,53 @@
+"""Table I — URL-parts for differently organized web-sites.
+
+Paper Table I:
+
+    URL                               | hint-part    | rest
+    www.foo.com/laptops?id=100        | laptops      | id=100
+    www.foo.com/?dept=laptops&id=100  | dept=laptops | id=100
+    www.foo.com/laptops/100           | laptops      | 100
+
+The benchmark regenerates the table through the partitioning machinery and
+times the partition operation itself (it runs once per never-seen URL on
+the delta-server's hot path).
+"""
+
+from _util import emit
+
+from repro.metrics import render_table
+from repro.url import RuleBook, heuristic_partition
+
+PAPER_ROWS = [
+    ("www.foo.com/laptops?id=100", "laptops", "id=100"),
+    ("www.foo.com/?dept=laptops&id=100", "dept=laptops", "id=100"),
+    ("www.foo.com/laptops/100", "laptops", "100"),
+]
+
+
+def bench_table1_partition(benchmark):
+    """Regenerate Table I and time URL partitioning."""
+    rows = []
+    for url, expected_hint, expected_rest in PAPER_ROWS:
+        parts = heuristic_partition(url)
+        rows.append([url, parts.hint, parts.rest])
+        assert parts.hint == expected_hint, url
+        assert parts.rest == expected_rest, url
+
+    emit(
+        "table1_url_parts",
+        render_table(
+            ["URL", "hint-part", "rest"],
+            rows,
+            title="Table I reproduction (paper values match exactly)",
+        ),
+    )
+
+    book = RuleBook()
+    book.add_rule("www.foo.com", r"(?P<hint>[^/?]+)\?(?P<rest>.*)")
+    urls = [row[0] for row in PAPER_ROWS] * 10
+
+    def partition_all():
+        for url in urls:
+            book.partition(url)
+
+    benchmark(partition_all)

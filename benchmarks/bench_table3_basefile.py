@@ -1,0 +1,177 @@
+"""Table III — average delta sizes per base-file selection algorithm.
+
+Paper Table III (five random permutations of one class's request sequence):
+
+    permutation | First Response | Randomized | Online Optimal
+    1           | 1704           | 1559       | 1406
+    2           | 1774           | 1636       | 1540
+    3           | 1785           | 1599       | 1515
+    4           | 1876           | 1626       | 1542
+    5           | 2025           | 1679       | 1575
+
+The randomized algorithm (8 samples, p = 0.2 — the paper's own settings)
+tracks the online optimum closely, and both beat first-response.  We
+regenerate the experiment on one synthetic class: the request sequence is
+personalized/temporal variants of one page, the metric is the size of the
+delta between each requested document and the policy's base-file at that
+moment, averaged over the sequence.
+"""
+
+import random
+
+import pytest
+from _util import emit, once
+
+from repro.core.base_file import (
+    FirstResponsePolicy,
+    OnlineOptimalPolicy,
+    RandomizedPolicy,
+    offline_best,
+)
+from repro.core.config import BaseFileConfig
+from repro.delta import LightEstimator, VdeltaEncoder, encoded_size
+from repro.metrics import render_table
+from repro.origin import SiteSpec, SyntheticSite, profile_for
+
+SEQUENCE_LENGTH = 120
+PERMUTATIONS = 5
+
+PAPER_ROWS = [
+    (1, 1704, 1559, 1406),
+    (2, 1774, 1636, 1540),
+    (3, 1785, 1599, 1515),
+    (4, 1876, 1626, 1542),
+    (5, 2025, 1679, 1575),
+]
+
+
+def class_documents() -> list[bytes]:
+    """One class's request stream: per-user, per-epoch variants of a page.
+
+    A 20 % minority of requests hit a sibling page that the grouping put in
+    the same class (close enough to match, farther from the majority).  The
+    paper's point — "the performance of the scheme that uses the first
+    response as a base-file can be very bad" depending on the sequence —
+    needs exactly this heterogeneity: a permutation that *starts* with a
+    minority document saddles first-response with an off-center base
+    forever, while the randomized algorithm adapts.
+    """
+    site = SyntheticSite(
+        SiteSpec(
+            name="www.t3.example",
+            categories=("news",),
+            products_per_category=2,
+            header_bytes=2500,
+            skeleton_bytes=9000,
+            detail_bytes=5000,
+            dynamic_bytes=1800,
+            personal_bytes=900,
+        )
+    )
+    majority, minority = site.all_pages()
+    rng = random.Random(33)
+    docs = []
+    for _ in range(SEQUENCE_LENGTH):
+        user = f"u{rng.randrange(12)}"
+        now = rng.uniform(0, 4 * 3600)
+        page = minority if rng.random() < 0.2 else majority
+        docs.append(
+            site.render(page, now, user_id=user, profile=profile_for(user))
+        )
+    return docs
+
+
+def mean_online_delta(policy, documents, measure) -> float:
+    """Feed the sequence; average the delta each request would have cost.
+
+    Mirrors the delta-server: the class is born with the first response as
+    its base-file, and the policy replaces it when it has a candidate.
+    """
+    total = 0
+    first: bytes | None = None
+    for document in documents:
+        base = policy.current() or first
+        if base is None:
+            total += len(document)  # the very first request is a full response
+        else:
+            total += measure(base, document)
+        policy.observe(document)
+        if first is None:
+            first = document
+    return total / len(documents)
+
+
+def run_table3() -> list[list[object]]:
+    documents = class_documents()
+    encoder = VdeltaEncoder()
+    estimator = LightEstimator()
+
+    def full_delta(base: bytes, target: bytes) -> int:
+        return encoded_size(encoder.encode(base, target).instructions, len(base))
+
+    def light_delta(base: bytes, target: bytes) -> int:
+        return estimator.estimate(base, target)
+
+    rows = []
+    for perm in range(1, PERMUTATIONS + 1):
+        rng = random.Random(perm)
+        sequence = list(documents)
+        rng.shuffle(sequence)
+        config = BaseFileConfig(sample_probability=0.2, capacity=8)
+        policies = {
+            "first": FirstResponsePolicy(),
+            # policies make decisions with the cheap light differ, exactly
+            # as the delta-server does
+            "randomized": RandomizedPolicy(config, light_delta, random.Random(perm)),
+            "optimal": OnlineOptimalPolicy(light_delta, max_documents=SEQUENCE_LENGTH),
+        }
+        row = [perm]
+        for policy in policies.values():
+            row.append(round(mean_online_delta(policy, sequence, full_delta)))
+        rows.append(row)
+    return rows
+
+
+def bench_table3_policies(benchmark):
+    rows = once(benchmark, run_table3)
+    paper_table = render_table(
+        ["perm", "First Response", "Randomized", "Online Optimal"],
+        [list(r) for r in PAPER_ROWS],
+        title="Table III (paper, bytes)",
+    )
+    measured_table = render_table(
+        ["perm", "First Response", "Randomized", "Online Optimal"],
+        rows,
+        title="Table III (measured, bytes)",
+    )
+    emit("table3_basefile", paper_table + "\n\n" + measured_table)
+
+    firsts = [r[1] for r in rows]
+    randoms = [r[2] for r in rows]
+    optimals = [r[3] for r in rows]
+    # Shape: optimal <= randomized <= first-response on average, and the
+    # randomized scheme is much closer to optimal than to first-response.
+    assert sum(optimals) <= sum(randoms) <= sum(firsts)
+    gap_to_optimal = sum(randoms) - sum(optimals)
+    gap_to_first = sum(firsts) - sum(randoms)
+    assert gap_to_optimal <= gap_to_first * 1.5
+
+
+def bench_table3_offline_reference(benchmark):
+    """Offline optimum over the same pool (the paper's 'ideal' scheme)."""
+    documents = class_documents()[:40]
+    estimator = LightEstimator()
+
+    def light_delta(base: bytes, target: bytes) -> int:
+        return estimator.estimate(base, target)
+
+    index, best = once(benchmark, lambda: offline_best(documents, light_delta))
+    assert 0 <= index < len(documents)
+    mean = sum(
+        light_delta(best, d) for d in documents if d is not best
+    ) / (len(documents) - 1)
+    emit(
+        "table3_offline_reference",
+        f"offline-optimal base-file: document #{index}, "
+        f"mean (light) delta {mean:.0f} bytes over {len(documents)} documents",
+    )

@@ -1,0 +1,113 @@
+"""Table IV — base-file and delta sizes under anonymization.
+
+Paper Table IV (bytes):
+
+    M | N  | base (plain) | base (anon) | delta (plain) | delta (anon)
+    2 | 5  | 84213        | 73434       | 5224          | 6520
+    4 | 12 | 84213        | 72714       | 5224          | 6097
+    4 | 8  | 84213        | 71090       | 5224          | 6505
+
+The shape: anonymization shrinks the base-file by ~13-16 % and grows the
+average delta only slightly ("anonymization is achieved at a minimal
+cost") — and, of course, removes all private data.
+
+We rebuild the experiment on one class of an ~84 KB personalized page:
+anonymize the base against N distinct users' documents at threshold M,
+then measure average deltas over a pool of fresh documents against the
+plain and anonymized bases.
+"""
+
+import random
+
+import pytest
+from _util import emit, once
+
+from repro.core.anonymize import Anonymizer
+from repro.core.config import AnonymizationConfig
+from repro.delta import VdeltaEncoder, encoded_size
+from repro.metrics import render_table
+from repro.origin import SiteSpec, SyntheticSite, find_card_numbers, profile_for
+
+LEVELS = [(2, 5), (4, 12), (4, 8)]
+PAPER_ROWS = [
+    (2, 5, 84213, 73434, 5224, 6520),
+    (4, 12, 84213, 72714, 5224, 6097),
+    (4, 8, 84213, 71090, 5224, 6505),
+]
+POOL_SIZE = 30
+
+
+def make_site() -> SyntheticSite:
+    """A page sized like the paper's 84 KB base-file."""
+    return SyntheticSite(
+        SiteSpec(
+            name="www.t4.example",
+            categories=("portal",),
+            products_per_category=1,
+            header_bytes=8000,
+            skeleton_bytes=40000,
+            detail_bytes=24000,
+            dynamic_bytes=6000,
+            personal_bytes=3000,
+            private_page_fraction=1.0,
+        )
+    )
+
+
+def render_for(site, user: str, now: float) -> bytes:
+    page = site.all_pages()[0]
+    return site.render(
+        page, now, user_id=user, profile=profile_for(user)
+    )
+
+
+def run_table4() -> list[list[object]]:
+    site = make_site()
+    encoder = VdeltaEncoder()
+    base = render_for(site, "owner", 0.0)
+
+    def delta(base_doc: bytes, target: bytes) -> int:
+        return encoded_size(encoder.encode(base_doc, target).instructions, len(base_doc))
+
+    rng = random.Random(44)
+    pool = [
+        render_for(site, f"pool{i}", rng.uniform(0, 7200)) for i in range(POOL_SIZE)
+    ]
+    plain_delta = sum(delta(base, doc) for doc in pool) / POOL_SIZE
+
+    rows = []
+    for m, n in LEVELS:
+        config = AnonymizationConfig(enabled=True, documents=n, min_count=m)
+        anonymizer = Anonymizer(base, config, encoder=encoder, owner_user="owner")
+        for i in range(n):
+            user = f"anon{m}_{n}_{i}"
+            anonymizer.observe(render_for(site, user, rng.uniform(0, 7200)), user)
+        anonymized = anonymizer.anonymized
+        assert anonymized is not None
+        assert not find_card_numbers(anonymized), "private data survived!"
+        anon_delta = sum(delta(anonymized, doc) for doc in pool) / POOL_SIZE
+        rows.append(
+            [m, n, len(base), len(anonymized), round(plain_delta), round(anon_delta)]
+        )
+    return rows
+
+
+def bench_table4_levels(benchmark):
+    rows = once(benchmark, run_table4)
+    paper_table = render_table(
+        ["M", "N", "base (plain)", "base (anon)", "delta (plain)", "delta (anon)"],
+        [list(r) for r in PAPER_ROWS],
+        title="Table IV (paper, bytes)",
+    )
+    measured_table = render_table(
+        ["M", "N", "base (plain)", "base (anon)", "delta (plain)", "delta (anon)"],
+        rows,
+        title="Table IV (measured, bytes)",
+    )
+    emit("table4_anonymization", paper_table + "\n\n" + measured_table)
+
+    for m, n, base_plain, base_anon, delta_plain, delta_anon in rows:
+        # anonymized base is smaller, but not gutted
+        assert 0.6 * base_plain < base_anon < base_plain
+        # deltas grow, but only modestly ("minimal cost"): well under 2x
+        assert delta_plain <= delta_anon < 2.0 * delta_plain, (m, n)

@@ -1,0 +1,7 @@
+"""Legacy entry point so ``python setup.py develop`` works offline.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — Class-Based Delta-Encoding (ICDCS 2002) reproduction.
+
+A from-scratch Python implementation of Psounis, *"Class-based
+Delta-encoding: A Scalable Scheme for Caching Dynamic Web Content"*:
+a delta-server that renders dynamic web traffic cachable by grouping
+documents into classes, keeping one shared base-file per class, and
+answering requests with compressed deltas.
+
+Typical use::
+
+    from repro import Simulation, SimulationConfig
+    from repro.origin import SiteSpec, SyntheticSite
+    from repro.workload import WorkloadSpec, generate_workload
+
+    site = SyntheticSite(SiteSpec(name="www.shop.example"))
+    workload = generate_workload([site], WorkloadSpec(name="demo", requests=500))
+    report = Simulation([site]).run(workload)
+    print(f"bandwidth savings: {report.bandwidth.savings:.1%}")
+
+Subpackages: :mod:`repro.core` (the paper's contribution),
+:mod:`repro.delta`, :mod:`repro.url`, :mod:`repro.http`,
+:mod:`repro.origin`, :mod:`repro.client`, :mod:`repro.proxy`,
+:mod:`repro.network`, :mod:`repro.workload`, :mod:`repro.analysis`,
+:mod:`repro.metrics`, :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AnonymizationConfig,
+    Anonymizer,
+    BaseFileConfig,
+    DeltaServer,
+    DeltaServerConfig,
+    EvictionVariant,
+    GroupingConfig,
+)
+from repro.delta import apply_delta, delta_size, make_delta
+from repro.simulation import Simulation, SimulationConfig, SimulationReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizationConfig",
+    "Anonymizer",
+    "BaseFileConfig",
+    "DeltaServer",
+    "DeltaServerConfig",
+    "EvictionVariant",
+    "GroupingConfig",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "apply_delta",
+    "delta_size",
+    "make_delta",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""The paper's closed-form analyses, with Monte-Carlo validators."""
+
+from __future__ import annotations
+
+from repro.analysis.basefile_error import (
+    SimulationResult,
+    expected_candidates,
+    normalizing_constant,
+    p_error_bound,
+    per_eviction_error_bound,
+    simulate_best_kept,
+)
+from repro.analysis.latency_model import (
+    bandwidth_to_latency_factor,
+    highbw_rounds_ratio,
+    modem_latency_ratio,
+)
+from repro.analysis.privacy_error import (
+    decaying_bound,
+    exact_decaying,
+    exact_iid,
+    iid_bound,
+    monte_carlo_decaying,
+    monte_carlo_iid,
+    recommended_n,
+)
+
+__all__ = [
+    "SimulationResult",
+    "bandwidth_to_latency_factor",
+    "decaying_bound",
+    "exact_decaying",
+    "exact_iid",
+    "expected_candidates",
+    "highbw_rounds_ratio",
+    "iid_bound",
+    "modem_latency_ratio",
+    "monte_carlo_decaying",
+    "monte_carlo_iid",
+    "normalizing_constant",
+    "p_error_bound",
+    "per_eviction_error_bound",
+    "recommended_n",
+    "simulate_best_kept",
+]

@@ -1,0 +1,62 @@
+"""Analytic latency-ratio estimates (paper Section VI-A).
+
+The paper converts bandwidth savings into latency savings with two
+back-of-envelope arguments, both reproduced here so the benchmark can show
+analytic-vs-simulated agreement:
+
+* **high-bandwidth path**: slow-start dominates, RTT rounds scale with
+  ``log2`` of the transfer size, so ``L1/L2 ≈ log2(S1/S2) ≈ 5`` for
+  30 KB vs 1 KB;
+* **56 Kb/s modem**: transmission time dominates and ``L1/L2`` is linear in
+  ``S1/S2`` but pulled down by fixed per-transfer costs (setup, queueing,
+  losses) to ≈ 10.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def highbw_rounds_ratio(size_large: int, size_small: int) -> float:
+    """``log2(S1/S2)`` — the paper's slow-start rounds argument."""
+    if size_small <= 0 or size_large <= 0:
+        raise ValueError("sizes must be positive")
+    if size_large < size_small:
+        raise ValueError("size_large must be >= size_small")
+    return max(math.log2(size_large / size_small), 1.0)
+
+
+def modem_latency_ratio(
+    size_large: int,
+    size_small: int,
+    bandwidth_bps: float = 56_000,
+    fixed_overhead: float = 0.3,
+) -> float:
+    """Transmission-dominated ratio with fixed per-transfer overheads.
+
+    ``L = overhead + 8·S/bw`` for each size; the overhead term (connection
+    setup, queueing, typical retransmissions) is what turns the naive
+    ``S1/S2 = 30`` into the paper's "around 10".
+    """
+    if size_small <= 0 or size_large <= 0:
+        raise ValueError("sizes must be positive")
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    latency_large = fixed_overhead + 8 * size_large / bandwidth_bps
+    latency_small = fixed_overhead + 8 * size_small / bandwidth_bps
+    return latency_large / latency_small
+
+
+def bandwidth_to_latency_factor(
+    size_ratio: float, modem: bool = True
+) -> float:
+    """Rule-of-thumb latency gain for a given size reduction factor.
+
+    The paper's summary numbers: a ~30× size reduction gives ~10× latency
+    for modem users and ~5× for high-bandwidth users.
+    """
+    if size_ratio < 1:
+        raise ValueError("size_ratio must be >= 1")
+    if modem:
+        return modem_latency_ratio(int(size_ratio * 1024), 1024)
+    return highbw_rounds_ratio(int(size_ratio * 1024), 1024)

@@ -1,0 +1,25 @@
+"""Baseline schemes the paper positions class-based delta-encoding against.
+
+* :mod:`repro.baselines.hpp` — HTML macro-preprocessing (Douglis et al.,
+  the paper's [6]): split documents into a cachable static template plus
+  dynamic bindings fetched per request.  "The size of network transfers
+  are typically 2 to 8 times smaller than the original sizes ... this idea
+  is simpler than delta-encoding, but it is less efficient."
+* :mod:`repro.baselines.plain_proxy` — classic proxy-caching only: dynamic
+  documents are uncachable, so the proxy helps only with base-file-like
+  static objects; hit rates top out around 40 % (paper Section I).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hpp import HPPServer, HPPStats, TemplateSplit, split_document
+from repro.baselines.plain_proxy import PlainProxyStats, replay_plain_proxy
+
+__all__ = [
+    "HPPServer",
+    "HPPStats",
+    "PlainProxyStats",
+    "TemplateSplit",
+    "replay_plain_proxy",
+    "split_document",
+]

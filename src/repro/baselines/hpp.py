@@ -1,0 +1,212 @@
+"""HPP-style template splitting (Douglis, Haro & Rabinovich — paper's [6]).
+
+HPP ("HTML macro-preprocessing") separates a dynamic document into a
+*static template*, cached like any static object, and *dynamic bindings*
+fetched from the server on every access.  The paper's introduction uses it
+as the closest prior art and argues delta-encoding strictly dominates it:
+
+    "According to their simulations, the size of network transfers are
+    typically 2 to 8 times smaller than the original sizes.  This idea is
+    simpler than delta-encoding, but it is less efficient.  Clearly,
+    delta-encoding exploits more redundancy than this scheme."
+
+The reason: HPP's template is fixed per *document structure*, so anything
+that varies — even content that is identical across *most* requests —
+must ship as a binding every time, while a delta ships only what changed
+*since the base-file*.
+
+Our implementation derives the template the way an HPP author effectively
+does: from several renders of a document, keep as template the byte runs
+common to all of them (computed with the same chunk differ used
+elsewhere), and ship the gaps as bindings.  This is the most favorable
+automated reading of HPP — a hand-written template could not keep more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.delta.compress import compress
+from repro.delta.instructions import base_coverage
+from repro.delta.vdelta import VdeltaEncoder
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateSplit:
+    """A document structure split into static template and binding slots.
+
+    ``kept`` are the template's byte ranges of the reference document;
+    bindings for a concrete render are the bytes between matched template
+    ranges.
+    """
+
+    reference: bytes
+    kept_ranges: tuple[tuple[int, int], ...]
+
+    @property
+    def template_bytes(self) -> int:
+        return sum(end - start for start, end in self.kept_ranges)
+
+    @property
+    def template(self) -> bytes:
+        return b"".join(self.reference[s:e] for s, e in self.kept_ranges)
+
+
+def split_document(
+    renders: list[bytes], encoder: VdeltaEncoder | None = None
+) -> TemplateSplit:
+    """Derive the static template: byte runs common to all renders.
+
+    The first render is the reference; every other render is diffed
+    against it and only reference ranges copied by *every* diff survive as
+    template.
+    """
+    if not renders:
+        raise ValueError("need at least one render")
+    reference = renders[0]
+    if len(renders) == 1:
+        return TemplateSplit(reference, ((0, len(reference)),))
+    encoder = encoder or VdeltaEncoder()
+    index = encoder.index(reference)
+    counts = [0] * (len(reference) + 1)
+    for render in renders[1:]:
+        result = encoder.encode_with_index(index, render)
+        for start, end in base_coverage(result.instructions, len(reference)):
+            counts[start] += 1
+            counts[end] -= 1
+    needed = len(renders) - 1
+    kept: list[tuple[int, int]] = []
+    running = 0
+    start: int | None = None
+    for i, inc in enumerate(counts[:-1]):
+        running += inc
+        if running >= needed and start is None:
+            start = i
+        elif running < needed and start is not None:
+            kept.append((start, i))
+            start = None
+    if start is not None:
+        kept.append((start, len(reference)))
+    return TemplateSplit(reference, tuple(kept))
+
+
+@dataclass(slots=True)
+class HPPStats:
+    """Transfer accounting for the HPP baseline."""
+
+    requests: int = 0
+    direct_bytes: int = 0
+    template_bytes_sent: int = 0  # templates are cachable: sent once each
+    binding_bytes_sent: int = 0
+
+    @property
+    def sent_bytes(self) -> int:
+        return self.template_bytes_sent + self.binding_bytes_sent
+
+    @property
+    def savings(self) -> float:
+        if not self.direct_bytes:
+            return 0.0
+        return 1.0 - self.sent_bytes / self.direct_bytes
+
+    @property
+    def reduction_factor(self) -> float:
+        if not self.sent_bytes:
+            return float("inf")
+        return self.direct_bytes / self.sent_bytes
+
+
+class HPPServer:
+    """Replays requests under the HPP scheme for comparison benchmarks.
+
+    Per URL: the first few renders train the template; after that, each
+    request ships only the (compressed) dynamic bindings, and the template
+    ships once per URL (it is cachable and shared by all clients behind
+    the proxy).
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[str, str, float], bytes],
+        training_renders: int = 3,
+        compression_level: int = 6,
+    ) -> None:
+        if training_renders < 2:
+            raise ValueError("need >= 2 training renders to find dynamic parts")
+        self._fetch = fetch
+        self._training = training_renders
+        self._level = compression_level
+        self._samples: dict[str, list[bytes]] = {}
+        self._splits: dict[str, TemplateSplit] = {}
+        self._template_shipped: set[str] = set()
+        self._encoder = VdeltaEncoder()
+        self._indexes: dict[str, object] = {}
+        self.stats = HPPStats()
+
+    def handle(self, url: str, user: str, now: float) -> None:
+        """Process one request, accounting transfer bytes."""
+        document = self._fetch(url, user, now)
+        self.stats.requests += 1
+        self.stats.direct_bytes += len(document)
+
+        split = self._splits.get(url)
+        if split is None:
+            samples = self._samples.setdefault(url, [])
+            samples.append(document)
+            # no template yet: full document ships (counted as bindings)
+            self.stats.binding_bytes_sent += len(
+                compress(document, self._level)
+            )
+            if len(samples) >= self._training:
+                self._splits[url] = split_document(samples, self._encoder)
+                self._indexes[url] = self._encoder.index(samples[0])
+                del self._samples[url]
+            return
+
+        if url not in self._template_shipped:
+            # one cachable template transfer (proxy serves everyone after)
+            self.stats.template_bytes_sent += len(
+                compress(split.template, self._level)
+            )
+            self._template_shipped.add(url)
+        bindings = self._bindings(url, split, document)
+        self.stats.binding_bytes_sent += len(compress(bindings, self._level))
+
+    #: a COPY must span at least this much to count as a template segment;
+    #: HPP's macros are structural, so stray few-byte overlaps between a
+    #: binding's text and the template do not let the client reconstruct
+    #: anything — they must ship like any other binding bytes.
+    MIN_TEMPLATE_MATCH = 128
+
+    def _bindings(self, url: str, split: TemplateSplit, document: bytes) -> bytes:
+        """Bytes of ``document`` not matched by the template ranges.
+
+        A document run produced by a long COPY from inside a template range
+        is template content the client already holds; everything else — ADD
+        literals, copies from non-template reference regions, and short
+        incidental matches — is a binding and must ship.
+        """
+        from repro.delta.instructions import Add, Run
+
+        result = self._encoder.encode_with_index(self._indexes[url], document)
+        out = bytearray()
+        pos = 0
+        for instr in result.instructions:
+            if isinstance(instr, Add):
+                out += instr.data
+                pos += len(instr.data)
+            elif isinstance(instr, Run):
+                out += bytes([instr.byte]) * instr.length
+                pos += instr.length
+            else:
+                if not self._inside_template(split, instr.offset, instr.length):
+                    out += document[pos : pos + instr.length]
+                pos += instr.length
+        return bytes(out)
+
+    def _inside_template(self, split: TemplateSplit, offset: int, length: int) -> bool:
+        if length < self.MIN_TEMPLATE_MATCH:
+            return False
+        end = offset + length
+        return any(s <= offset and end <= e for s, e in split.kept_ranges)

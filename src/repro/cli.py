@@ -1,0 +1,219 @@
+"""Command-line interface: generate traces, replay them, inspect deltas.
+
+Usage::
+
+    python -m repro.cli trace-gen --requests 2000 --users 20 --out trace.log
+    python -m repro.cli replay trace.log
+    python -m repro.cli delta base.html current.html
+    python -m repro.cli capacity
+
+The CLI drives the same public API the examples use; it exists so the
+system can be exercised from a shell (and from scripts) without writing
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import AnonymizationConfig, DeltaServerConfig
+from repro.delta import apply_delta, compress, make_delta
+from repro.metrics import fmt_factor, fmt_pct, render_table
+from repro.origin import SiteSpec, SyntheticSite, UrlStyle
+from repro.simulation import (
+    CostModel,
+    Simulation,
+    SimulationConfig,
+    compare_plain_vs_delta,
+)
+from repro.workload import Trace, WorkloadSpec, analyze_trace, generate_workload
+
+DEFAULT_SITE = "www.shop.example"
+
+
+def _build_site(args: argparse.Namespace) -> SyntheticSite:
+    return SyntheticSite(
+        SiteSpec(
+            name=args.site,
+            url_style=UrlStyle(args.url_style),
+            categories=tuple(args.categories.split(",")),
+            products_per_category=args.products,
+        )
+    )
+
+
+def cmd_trace_gen(args: argparse.Namespace) -> int:
+    site = _build_site(args)
+    workload = generate_workload(
+        [site],
+        WorkloadSpec(
+            name=Path(args.out).stem,
+            requests=args.requests,
+            users=args.users,
+            duration=args.duration,
+            revisit_bias=args.revisit_bias,
+            session_urls=args.session_urls,
+            seed=args.seed,
+        ),
+    )
+    workload.trace.save(args.out)
+    print(
+        f"wrote {len(workload.trace)} requests "
+        f"({len(workload.trace.users)} users, {len(workload.trace.urls)} URLs) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    site = _build_site(args)
+    config = SimulationConfig(
+        verify=args.verify,
+        delta=DeltaServerConfig(
+            anonymization=AnonymizationConfig(
+                documents=args.anon_n, min_count=args.anon_m
+            )
+        ),
+    )
+    simulation = Simulation([site], config)
+    report = simulation.run(trace)
+    bw = report.bandwidth
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["requests", bw.requests],
+                ["direct KB", bw.direct_kb],
+                ["sent KB", bw.delta_kb],
+                ["savings", fmt_pct(bw.savings)],
+                ["reduction", fmt_factor(bw.reduction_factor)],
+                ["deltas / fulls", f"{bw.deltas_served} / {bw.full_served}"],
+                ["classes", report.classes],
+                ["verify failures", report.verify_failures],
+            ],
+            title=f"replay of {args.trace}",
+        )
+    )
+    return 1 if report.verify_failures else 0
+
+
+def cmd_delta(args: argparse.Namespace) -> int:
+    base = Path(args.base).read_bytes()
+    target = Path(args.target).read_bytes()
+    payload = make_delta(base, target)
+    compressed = compress(payload)
+    assert apply_delta(payload, base) == target
+    print(f"base      {len(base):>10,} bytes")
+    print(f"target    {len(target):>10,} bytes")
+    print(f"delta     {len(payload):>10,} bytes ({len(payload) / max(len(target), 1):.1%})")
+    print(f"delta.gz  {len(compressed):>10,} bytes ({len(compressed) / max(len(target), 1):.1%})")
+    if args.out:
+        Path(args.out).write_bytes(compressed)
+        print(f"wrote compressed delta to {args.out}")
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    stats = analyze_trace(Trace.load(args.trace))
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["requests", stats.requests],
+                ["distinct URLs", stats.distinct_urls],
+                ["distinct users", stats.distinct_users],
+                ["duration", f"{stats.duration:.0f} s"],
+                ["request rate", f"{stats.requests_per_second:.2f} req/s"],
+                ["top-URL share", f"{stats.top_url_share:.1%}"],
+                ["head (top 10% URLs) share", f"{stats.head_share:.1%}"],
+                ["Zipf alpha (fit)", f"{stats.zipf_alpha:.2f}"],
+                ["requests per (user, URL) pair", f"{stats.requests_per_pair:.1f}"],
+            ],
+            title=f"trace statistics: {args.trace}",
+        )
+    )
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    plain, delta = compare_plain_vs_delta(CostModel())
+    rows = []
+    for estimate in (plain, delta):
+        rows.append(
+            [
+                estimate.name,
+                f"{estimate.cpu_capacity_rps:.0f}",
+                f"{estimate.capacity_rps:.0f}",
+                f"{estimate.sustainable_concurrency:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["configuration", "cpu rps", "capacity rps", "concurrency @ cpu cap"],
+            rows,
+            title="capacity (paper-calibrated cost model, modem clients)",
+        )
+    )
+    return 0
+
+
+def _add_site_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--site", default=DEFAULT_SITE, help="server-part")
+    parser.add_argument(
+        "--url-style",
+        default="path_query",
+        choices=[style.value for style in UrlStyle],
+    )
+    parser.add_argument("--categories", default="laptops,desktops")
+    parser.add_argument("--products", type=int, default=5)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("trace-gen", help="generate a synthetic access-log trace")
+    _add_site_args(gen)
+    gen.add_argument("--requests", type=int, default=1000)
+    gen.add_argument("--users", type=int, default=20)
+    gen.add_argument("--duration", type=float, default=3600.0)
+    gen.add_argument("--revisit-bias", type=float, default=0.6)
+    gen.add_argument("--session-urls", action="store_true")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_trace_gen)
+
+    replay = sub.add_parser("replay", help="replay a trace through the architecture")
+    _add_site_args(replay)
+    replay.add_argument("trace")
+    replay.add_argument("--verify", action="store_true", help="byte-verify every response")
+    replay.add_argument("--anon-n", type=int, default=3, help="anonymization N")
+    replay.add_argument("--anon-m", type=int, default=1, help="anonymization M")
+    replay.set_defaults(func=cmd_replay)
+
+    delta = sub.add_parser("delta", help="diff two files with the Vdelta encoder")
+    delta.add_argument("base")
+    delta.add_argument("target")
+    delta.add_argument("--out", help="write the compressed delta here")
+    delta.set_defaults(func=cmd_delta)
+
+    stats = sub.add_parser("trace-stats", help="summarize a trace's shape")
+    stats.add_argument("trace")
+    stats.set_defaults(func=cmd_trace_stats)
+
+    capacity = sub.add_parser("capacity", help="print the capacity comparison")
+    capacity.set_defaults(func=cmd_capacity)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Client-side substrate: browser instances that reconstruct deltas."""
+
+from __future__ import annotations
+
+from repro.client.browser import ClientStats, DeltaClient
+
+__all__ = ["ClientStats", "DeltaClient"]

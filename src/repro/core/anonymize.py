@@ -1,0 +1,141 @@
+"""Base-file anonymization (paper Section V).
+
+A class's base-file is stored by many clients, so private information
+(credit-card numbers, account details) must be scrubbed before the file is
+distributed.  The paper's mechanism, implemented here verbatim:
+
+1. Choose a base-file.
+2. Associate a counter with each byte-chunk of the base-file.
+3. For the next ``N`` requests in the class **from distinct users** (and
+   from users other than the base-file's own), delta-encode the base-file
+   against the requested document and increment the counters of the chunks
+   that were *common* between the two.
+4. Remove all chunks whose counter is below ``M``.
+
+``M = 1`` is the basic scheme; larger ``M`` guards against private data
+shared by a few users (corporate cards) at the cost of a smaller base-file
+and slightly larger deltas (paper Table IV).
+
+Until anonymization completes the base-file **must not** be distributed;
+the :class:`~repro.core.delta_server.DeltaServer` keeps serving the
+previous anonymized base (if any) during re-anonymization, as the paper
+prescribes, so the penalty is only a warm-up delay.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import AnonymizationConfig
+from repro.delta.instructions import base_coverage
+from repro.delta.vdelta import BaseIndex, VdeltaEncoder
+
+
+class AnonymizationState(enum.Enum):
+    """Lifecycle of one base-file's anonymization."""
+
+    DISABLED = "disabled"  # anonymization turned off; base distributable as-is
+    COLLECTING = "collecting"  # waiting for N distinct-user documents
+    READY = "ready"  # anonymized base-file available
+
+
+class Anonymizer:
+    """Chunk-counter anonymization of one base-file."""
+
+    def __init__(
+        self,
+        base: bytes,
+        config: AnonymizationConfig,
+        encoder: VdeltaEncoder | None = None,
+        owner_user: str | None = None,
+    ) -> None:
+        self._base = base
+        self._config = config
+        self._encoder = encoder or VdeltaEncoder()
+        self._owner = owner_user
+        self._index: BaseIndex | None = None
+        self._users: set[str] = set()
+        # Difference array: counters[i] accumulates range increments;
+        # prefix-summed at finalize time.  O(ranges) per document instead of
+        # O(bytes).
+        self._increments = [0] * (len(base) + 1)
+        self._counts: list[int] | None = None
+        self._anonymized: bytes | None = None
+        if not config.enabled:
+            self._anonymized = base
+            self._state = AnonymizationState.DISABLED
+        else:
+            self._state = AnonymizationState.COLLECTING
+
+    @property
+    def state(self) -> AnonymizationState:
+        return self._state
+
+    @property
+    def base(self) -> bytes:
+        """The raw (non-anonymized) base-file."""
+        return self._base
+
+    @property
+    def anonymized(self) -> bytes | None:
+        """The distributable base-file, or ``None`` while still collecting."""
+        return self._anonymized
+
+    @property
+    def users_observed(self) -> int:
+        return len(self._users)
+
+    @property
+    def users_needed(self) -> int:
+        """Distinct users still required before finalization."""
+        if self._state is not AnonymizationState.COLLECTING:
+            return 0
+        return self._config.documents - len(self._users)
+
+    def observe(self, document: bytes, user_id: str | None) -> bool:
+        """Feed one in-class document; returns ``True`` if it was counted.
+
+        Documents are counted only while collecting, only for identified
+        users, only once per user, and never for the base-file's own user
+        (paper footnote 5).
+        """
+        if self._state is not AnonymizationState.COLLECTING:
+            return False
+        if user_id is None or user_id == self._owner or user_id in self._users:
+            return False
+        self._users.add(user_id)
+        if self._index is None:
+            self._index = self._encoder.index(self._base)
+        result = self._encoder.encode_with_index(self._index, document)
+        for start, end in base_coverage(result.instructions, len(self._base)):
+            self._increments[start] += 1
+            self._increments[end] -= 1
+        if len(self._users) >= self._config.documents:
+            self._finalize()
+        return True
+
+    def chunk_counts(self) -> list[int]:
+        """Per-byte commonality counters (prefix sums of the increments)."""
+        counts: list[int] = []
+        running = 0
+        for inc in self._increments[:-1]:
+            running += inc
+            counts.append(running)
+        return counts
+
+    def _finalize(self) -> None:
+        counts = self.chunk_counts()
+        threshold = self._config.min_count
+        kept = bytes(
+            byte for byte, count in zip(self._base, counts) if count >= threshold
+        )
+        self._counts = counts
+        self._anonymized = kept
+        self._state = AnonymizationState.READY
+        self._index = None  # release the hash index; no longer needed
+
+    def kept_fraction(self) -> float:
+        """Fraction of base-file bytes surviving anonymization (1.0 before)."""
+        if self._anonymized is None or not self._base:
+            return 1.0
+        return len(self._anonymized) / len(self._base)

@@ -1,0 +1,243 @@
+"""Document classes: the unit of base-file sharing.
+
+Under class-based delta-encoding "dynamic documents are grouped into
+classes, and a single base-file is stored at the server per class"
+(Section II).  A :class:`DocumentClass` owns:
+
+* its membership (URLs grouped into it) and popularity counter, which the
+  grouping search uses to order candidate classes;
+* the *raw* base-file (chosen by the selection policy) and the
+  *distributable* base-file (the anonymized version clients may hold),
+  with a version number bumped on every promotion so stale client copies
+  are detectable;
+* cached differ indexes for both, since one base-file is diffed against
+  every in-class request.
+
+The two-stage base lifecycle implements Section V's rule that a base-file
+"should not be distributed to clients" until anonymized, while "if there is
+already an anonymized base-file and a rebase is triggered, the previous
+base-file can be used until the new one is properly anonymized".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.anonymize import AnonymizationState, Anonymizer
+from repro.core.base_file import BaseFilePolicy
+from repro.core.config import AnonymizationConfig
+from repro.delta.light import LightEstimator
+from repro.delta.vdelta import BaseIndex, VdeltaEncoder
+
+
+@dataclass(slots=True)
+class ClassStats:
+    """Per-class accounting."""
+
+    hits: int = 0
+    deltas_served: int = 0
+    full_served: int = 0
+    group_rebases: int = 0
+    basic_rebases: int = 0
+
+
+class DocumentClass:
+    """One class of similar documents sharing a single base-file."""
+
+    def __init__(
+        self,
+        class_id: str,
+        server: str,
+        hint: str,
+        anonymization: AnonymizationConfig,
+        policy: BaseFilePolicy,
+        encoder: VdeltaEncoder,
+        estimator: LightEstimator,
+        created_at: float = 0.0,
+    ) -> None:
+        self.class_id = class_id
+        self.server = server
+        self.hint = hint
+        self.created_at = created_at
+        self.policy = policy
+        self.stats = ClassStats()
+        self.members: set[str] = set()
+        self.last_rebase_at = created_at
+
+        self._anon_config = anonymization
+        self._encoder = encoder
+        self._estimator = estimator
+
+        self._raw_base: bytes | None = None
+        self._distributable: bytes | None = None
+        self.version = 0
+        self._pending: Anonymizer | None = None
+
+        # One previous distributable generation is kept live so clients
+        # holding it keep receiving deltas across a rebase instead of
+        # falling back to full responses while they re-fetch the new base.
+        self._previous: bytes | None = None
+        self._previous_version: int | None = None
+        self._previous_index: BaseIndex | None = None
+
+        self._full_index: BaseIndex | None = None
+        self._light_index: BaseIndex | None = None
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """(server-part, hint-part) search key."""
+        return (self.server, self.hint)
+
+    @property
+    def popularity(self) -> int:
+        """Request count; the grouping search probes popular classes first."""
+        return self.stats.hits
+
+    def add_member(self, url: str) -> None:
+        self.members.add(url)
+
+    # -- base-file lifecycle ---------------------------------------------------
+
+    @property
+    def raw_base(self) -> bytes | None:
+        """The currently adopted (possibly not yet distributable) base-file."""
+        return self._raw_base
+
+    @property
+    def distributable_base(self) -> bytes | None:
+        """The anonymized base-file clients may cache, or ``None``."""
+        return self._distributable
+
+    @property
+    def can_serve_deltas(self) -> bool:
+        return self._distributable is not None and len(self._distributable) > 0
+
+    @property
+    def anonymization_pending(self) -> bool:
+        return (
+            self._pending is not None
+            and self._pending.state is AnonymizationState.COLLECTING
+        )
+
+    def adopt_base(self, document: bytes, owner_user: str | None, now: float) -> None:
+        """Adopt a new raw base-file and start (re-)anonymizing it.
+
+        The previous distributable base, if any, stays in service until the
+        new one is ready.
+        """
+        self._raw_base = document
+        self.last_rebase_at = now
+        self._pending = Anonymizer(
+            document, self._anon_config, encoder=self._encoder, owner_user=owner_user
+        )
+        if self._pending.state is AnonymizationState.DISABLED:
+            self._promote(self._pending)
+
+    def feed(self, document: bytes, user_id: str | None) -> None:
+        """Feed one in-class document to the pending anonymization, if any."""
+        if self._pending is None:
+            return
+        self._pending.observe(document, user_id)
+        if self._pending.state is AnonymizationState.READY:
+            self._promote(self._pending)
+
+    def _promote(self, anonymizer: Anonymizer) -> None:
+        assert anonymizer.anonymized is not None
+        if self._distributable is not None:
+            self._previous = self._distributable
+            self._previous_version = self.version
+            self._previous_index = self._full_index
+        self._distributable = anonymizer.anonymized
+        self.version += 1
+        self._pending = None
+        self._full_index = None
+        self._light_index = None
+
+    @property
+    def previous_version(self) -> int | None:
+        """Version number of the still-servable previous base, if any."""
+        return self._previous_version
+
+    def base_for_version(self, version: int) -> bytes | None:
+        """The distributable base matching ``version`` (current or previous)."""
+        if version == self.version and self._distributable is not None:
+            return self._distributable
+        if version == self._previous_version:
+            return self._previous
+        return None
+
+    # -- index caching -----------------------------------------------------------
+
+    def drop_previous(self) -> int:
+        """Release the previous-generation base; returns bytes freed.
+
+        Clients still holding the old version will get a full response on
+        their next request and pick up the current base — the pre-graceful
+        rebase behaviour, acceptable under storage pressure.
+        """
+        freed = len(self._previous or b"")
+        self._previous = None
+        self._previous_version = None
+        self._previous_index = None
+        return freed
+
+    def release_base(self) -> int:
+        """Release every base-file this class holds; returns bytes freed.
+
+        The class survives (members, policy state, version counter) and
+        re-adopts a base from the next request it serves — the storage-
+        pressure escape hatch.  The version counter is NOT reset, so
+        clients holding released generations are correctly detected as
+        stale when the class comes back.
+        """
+        freed = self.drop_previous()
+        freed += len(self._raw_base or b"")
+        if self._distributable is not None and self._distributable is not self._raw_base:
+            freed += len(self._distributable)
+        self._raw_base = None
+        self._distributable = None
+        self._pending = None
+        self._full_index = None
+        self._light_index = None
+        return freed
+
+    def full_index(self) -> BaseIndex:
+        """Cached full-differ index over the distributable base."""
+        if not self.can_serve_deltas:
+            raise RuntimeError(f"class {self.class_id} has no distributable base")
+        if self._full_index is None:
+            assert self._distributable is not None
+            self._full_index = self._encoder.index(self._distributable)
+        return self._full_index
+
+    def full_index_for(self, version: int) -> BaseIndex | None:
+        """Cached index for a served base version (current or previous)."""
+        if version == self.version:
+            return self.full_index() if self.can_serve_deltas else None
+        if version == self._previous_version and self._previous is not None:
+            if self._previous_index is None:
+                self._previous_index = self._encoder.index(self._previous)
+            return self._previous_index
+        return None
+
+    def light_index(self) -> BaseIndex | None:
+        """Cached light-estimator index over the best base for matching.
+
+        Grouping compares documents against the distributable base when one
+        exists (that is what deltas will be computed against) and falls back
+        to the raw base during the initial anonymization window.
+        """
+        base = self._distributable if self.can_serve_deltas else self._raw_base
+        if not base:
+            return None
+        if self._light_index is None or self._light_index.base is not base:
+            self._light_index = self._estimator.index(base)
+        return self._light_index
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentClass(id={self.class_id!r}, key={self.key!r}, "
+            f"members={len(self.members)}, version={self.version})"
+        )

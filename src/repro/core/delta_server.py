@@ -1,0 +1,306 @@
+"""The delta-server: the engine that makes dynamic traffic cachable.
+
+"Call a *delta-server* an engine that implements class-based delta-encoding
+and services the contents of some web-servers.  All requests are processed
+by the delta-server before they are forwarded to the web-servers."
+(Section III.)  Deployment-wise it sits next to the origin (Fig. 2) and is
+transparent to clients, proxies, and the web-server.
+
+Per request the engine:
+
+1. fetches the current document snapshot from the origin;
+2. groups the request into a document class (:mod:`repro.core.grouping`);
+3. feeds the document to the class's base-file selection policy and to any
+   pending anonymization;
+4. applies rebase policy (group-rebase on timeout + better candidate,
+   basic-rebase on persistently large deltas);
+5. answers with a compressed delta when the client holds the class's
+   current distributable base-file, and with the full document otherwise
+   (tagging the response with the class reference so the client can fetch
+   the — cachable — base-file for next time).
+
+Base-files are served at synthetic URLs
+``<server>/__delta_base__/<class_id>/<version>`` and marked cachable, so
+ordinary proxy-caches absorb base-file distribution (Section VI-B's point
+that "anonymized base files are cachable ... the gain from cachable
+base-files is expected to be larger than the loss from slightly larger
+deltas").
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.classes import DocumentClass
+from repro.core.config import DeltaServerConfig
+from repro.core.base_file import RandomizedPolicy
+from repro.core.grouping import Grouper
+from repro.core.rebase import RebaseController
+from repro.core.storage import StorageManager
+from repro.delta.codec import checksum, encode_delta, encoded_size
+from repro.delta.compress import compress
+from repro.delta.light import LightEstimator
+from repro.delta.vdelta import VdeltaEncoder
+from repro.http.messages import (
+    HEADER_CONTENT_ENCODING,
+    HEADER_DELTA,
+    HEADER_DELTA_BASE,
+    Request,
+    Response,
+    base_ref,
+)
+from repro.url.rules import RuleBook
+
+BASE_FILE_SEGMENT = "__delta_base__"
+
+OriginFetch = Callable[[Request, float], Response]
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Aggregate delta-server accounting (drives Table II)."""
+
+    requests: int = 0
+    #: bytes the origin produced — what a direct (no delta-server) deployment
+    #: would have sent.
+    direct_bytes: int = 0
+    #: bytes actually sent to clients for document responses.
+    sent_bytes: int = 0
+    deltas_served: int = 0
+    full_served: int = 0
+    passthrough: int = 0
+    base_files_served: int = 0
+    base_file_bytes: int = 0
+    group_rebases: int = 0
+    basic_rebases: int = 0
+
+    @property
+    def savings(self) -> float:
+        """Fractional bandwidth savings on document traffic (Table II)."""
+        if not self.direct_bytes:
+            return 0.0
+        return 1.0 - self.sent_bytes / self.direct_bytes
+
+
+class DeltaServer:
+    """Class-based delta-encoding engine in front of an origin server."""
+
+    def __init__(
+        self,
+        origin_fetch: OriginFetch,
+        config: DeltaServerConfig | None = None,
+        rulebook: RuleBook | None = None,
+    ) -> None:
+        self.config = config or DeltaServerConfig()
+        self._origin_fetch = origin_fetch
+        self._rng = random.Random(self.config.seed)
+        self._encoder = VdeltaEncoder()
+        self._estimator = LightEstimator()
+        self._class_ids = itertools.count(1)
+        self._controllers: dict[str, RebaseController] = {}
+        self.stats = ServerStats()
+        self.storage = StorageManager(self.config.storage_budget_bytes)
+        self.grouper = Grouper(
+            config=self.config.grouping,
+            rulebook=rulebook or RuleBook(),
+            estimator=self._estimator,
+            class_factory=self._new_class,
+            rng=self._rng,
+            exact_delta=self._delta_size,
+        )
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _new_class(self, server: str, hint: str) -> DocumentClass:
+        class_id = f"cls{next(self._class_ids)}"
+        policy = RandomizedPolicy(
+            self.config.base_file, self._light_size, self._rng
+        )
+        cls = DocumentClass(
+            class_id=class_id,
+            server=server,
+            hint=hint,
+            anonymization=self.config.anonymization,
+            policy=policy,
+            encoder=self._encoder,
+            estimator=self._estimator,
+        )
+        self._controllers[class_id] = RebaseController(self.config.base_file)
+        return cls
+
+    def _delta_size(self, base: bytes, target: bytes) -> int:
+        return encoded_size(self._encoder.encode(base, target).instructions, len(base))
+
+    def _light_size(self, base: bytes, target: bytes) -> int:
+        return self._estimator.estimate(base, target)
+
+    # -- request handling ----------------------------------------------------------
+
+    def handle(self, request: Request, now: float) -> Response:
+        """Process one client (or proxy-forwarded) request."""
+        base_file = self._parse_base_file_url(request.url)
+        if base_file is not None:
+            return self._serve_base_file(*base_file)
+
+        origin_response = self._origin_fetch(request, now)
+        self.stats.requests += 1
+        if (
+            origin_response.status != 200
+            or len(origin_response.body) < self.config.min_document_bytes
+        ):
+            self.stats.passthrough += 1
+            return origin_response
+
+        document = origin_response.body
+        self.stats.direct_bytes += len(document)
+
+        cls, created = self.grouper.classify(request.url, document)
+        cls.policy.observe(document, request.user_id)
+        if created or cls.raw_base is None:
+            # The class is born with this response as its base-file (the
+            # simplest scheme); a storage-released class re-adopts the same
+            # way.  The policy may replace the base later.
+            cls.adopt_base(document, owner_user=request.user_id, now=now)
+        else:
+            cls.feed(document, request.user_id)
+            self._maybe_rebase(cls, document, request.user_id, now)
+        if self.storage.stats.enforced:
+            self.storage.enforce(self.grouper.classes, protect=cls)
+
+        return self._respond(cls, request, document)
+
+    def class_of(self, url: str) -> DocumentClass | None:
+        """The class a URL has been grouped into, if any (diagnostics)."""
+        for cls in self.grouper.classes:
+            if url in cls.members:
+                return cls
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _maybe_rebase(
+        self, cls: DocumentClass, document: bytes, user_id: str | None, now: float
+    ) -> None:
+        if cls.anonymization_pending:
+            # A rebase is already in flight (its base is being anonymized);
+            # re-triggering would restart the user-collection window forever
+            # and the class would never finish a transition.
+            return
+        controller = self._controllers[cls.class_id]
+        decision = controller.check(
+            cls.policy, cls.raw_base, document, now, cls.last_rebase_at
+        )
+        if decision is None:
+            return
+        if decision.kind == "basic":
+            # "When a basic-rebase takes place, all K stored documents are
+            # flushed."
+            cls.policy.flush()
+            cls.adopt_base(decision.new_base, owner_user=user_id, now=now)
+            cls.stats.basic_rebases += 1
+            self.stats.basic_rebases += 1
+        else:
+            owner = cls.policy.current_owner()
+            cls.adopt_base(decision.new_base, owner_user=owner, now=now)
+            cls.stats.group_rebases += 1
+            self.stats.group_rebases += 1
+        controller.reset()
+
+    def _respond(
+        self, cls: DocumentClass, request: Request, document: bytes
+    ) -> Response:
+        if not cls.can_serve_deltas:
+            return self._full_response(cls, None, document)
+        current_ref = base_ref(cls.class_id, cls.version)
+        accepted = request.accepts_delta()
+        if current_ref in accepted:
+            delta_response = self._delta_response(cls, cls.version, document)
+            if delta_response is not None:
+                return delta_response
+        elif cls.previous_version is not None and (
+            base_ref(cls.class_id, cls.previous_version) in accepted
+        ):
+            # The client still holds the pre-rebase base: serve a delta
+            # against it and advertise the new base so the client upgrades
+            # without ever taking a full response.
+            delta_response = self._delta_response(cls, cls.previous_version, document)
+            if delta_response is not None:
+                delta_response.headers.set(HEADER_DELTA_BASE, current_ref)
+                return delta_response
+        return self._full_response(cls, current_ref, document)
+
+    def _delta_response(
+        self, cls: DocumentClass, version: int, document: bytes
+    ) -> Response | None:
+        index = cls.full_index_for(version)
+        if index is None:
+            return None
+        ref = base_ref(cls.class_id, version)
+        result = self._encoder.encode_with_index(index, document)
+        wire = encode_delta(result.instructions, len(index.base), checksum(document))
+        payload = compress(wire, self.config.compression_level)
+        controller = self._controllers[cls.class_id]
+        controller.note_delta(len(wire), len(document))
+        if len(payload) >= len(document):
+            # Degenerate delta (base drifted badly); the full document is
+            # cheaper.  The controller already saw the bad ratio, so a
+            # basic-rebase will follow shortly.
+            return None
+        response = Response(status=200, body=payload)
+        response.headers.set(HEADER_DELTA, ref)
+        response.headers.set(HEADER_CONTENT_ENCODING, "deflate")
+        self.stats.deltas_served += 1
+        self.stats.sent_bytes += len(payload)
+        cls.stats.deltas_served += 1
+        return response
+
+    def _full_response(
+        self, cls: DocumentClass, ref: str | None, document: bytes
+    ) -> Response:
+        response = Response(status=200, body=document)
+        if ref is not None:
+            # Advertise the class's base-file so the client can pick it up
+            # (via any proxy-cache on the way) and use deltas next time.
+            response.headers.set(HEADER_DELTA_BASE, ref)
+        self.stats.full_served += 1
+        self.stats.sent_bytes += len(document)
+        cls.stats.full_served += 1
+        return response
+
+    # -- base-file distribution -------------------------------------------------------
+
+    def _parse_base_file_url(self, url: str) -> tuple[str, int] | None:
+        """Recognize ``<server>/__delta_base__/<class_id>/<version>`` URLs."""
+        parts = url.split("/")
+        if BASE_FILE_SEGMENT not in parts:
+            return None
+        i = parts.index(BASE_FILE_SEGMENT)
+        if i + 2 >= len(parts):
+            return None
+        try:
+            return parts[i + 1], int(parts[i + 2])
+        except ValueError:
+            return None
+
+    def _serve_base_file(self, class_id: str, version: int) -> Response:
+        try:
+            cls = self.grouper.class_by_id(class_id)
+        except KeyError:
+            return Response(status=404, body=b"unknown class")
+        body = cls.base_for_version(version)
+        if body is None:
+            return Response(status=404, body=b"stale base-file version")
+        response = Response(status=200, body=body)
+        response.headers.set(HEADER_DELTA_BASE, base_ref(class_id, version))
+        response.mark_cachable()
+        self.stats.base_files_served += 1
+        self.stats.base_file_bytes += len(body)
+        return response
+
+    @staticmethod
+    def base_file_url(server: str, class_id: str, version: int) -> str:
+        """URL at which a class's base-file is served (proxy-cachable)."""
+        return f"{server}/{BASE_FILE_SEGMENT}/{class_id}/{version}"

@@ -1,0 +1,224 @@
+"""The grouping mechanism: assigning requests to document classes.
+
+Implements Section III's search procedure with all four heuristics:
+
+1. URLs are partitioned into server-part / hint-part / rest (admin regex
+   rules with heuristic fallback, :mod:`repro.url`); a new class is created
+   outright when no existing class shares the request's server-part, since
+   "it is very unlikely that two documents originating from different
+   servers will be close enough".
+2. If classes share the request's hint-part, only those are considered.
+3. At most ``N`` classes are probed; no match after ``N`` tries creates a
+   new class.
+4. The first ``a·N`` probes go to the most popular eligible classes, the
+   remaining ``(1-a)·N`` to random picks among the rest; the search stops at
+   the first match (the paper's preferred variant) unless configured to
+   probe all ``N`` and keep the best.
+5. Closeness is *estimated* with the light differ, not measured with the
+   full one.
+
+A *matching* occurs when the estimated delta is below
+``match_threshold × len(document)``.
+
+Manual grouping — "the administrator has the option to manually group URLs
+into classes" — is supported via regex pin rules checked before the
+automatic search.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.classes import DocumentClass
+from repro.core.config import GroupingConfig
+from repro.delta.light import LightEstimator
+from repro.url.parts import URLParts
+from repro.url.rules import RuleBook
+
+
+@dataclass(slots=True)
+class GroupingStats:
+    """Search diagnostics for Section VI-B's grouping evaluation."""
+
+    requests: int = 0
+    matched: int = 0
+    created: int = 0
+    manual: int = 0
+    total_tries: int = 0
+    #: histogram: tries_needed -> count (successful matches only)
+    tries_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_tries(self) -> float:
+        """Average probes per successful match ("a couple of tries")."""
+        if not self.matched:
+            return 0.0
+        return sum(t * c for t, c in self.tries_histogram.items()) / self.matched
+
+
+class Grouper:
+    """Groups URL-requests into document classes."""
+
+    def __init__(
+        self,
+        config: GroupingConfig,
+        rulebook: RuleBook,
+        estimator: LightEstimator,
+        class_factory: Callable[[str, str], DocumentClass],
+        rng: random.Random,
+        exact_delta: Callable[[bytes, bytes], int] | None = None,
+    ) -> None:
+        self._config = config
+        self._rulebook = rulebook
+        self._estimator = estimator
+        self._class_factory = class_factory
+        self._rng = rng
+        self._exact_delta = exact_delta
+        self.stats = GroupingStats()
+
+        self._classes: dict[str, DocumentClass] = {}
+        self._by_server: dict[str, list[DocumentClass]] = {}
+        self._by_key: dict[tuple[str, str], list[DocumentClass]] = {}
+        self._url_to_class: dict[str, str] = {}
+        self._manual_rules: list[tuple[re.Pattern[str], str]] = []
+
+    # -- registry ------------------------------------------------------------
+
+    @property
+    def classes(self) -> list[DocumentClass]:
+        return list(self._classes.values())
+
+    def class_by_id(self, class_id: str) -> DocumentClass:
+        return self._classes[class_id]
+
+    def class_count(self) -> int:
+        return len(self._classes)
+
+    def pin_manual(self, url_pattern: str, class_id: str) -> None:
+        """Manually route URLs matching ``url_pattern`` to ``class_id``.
+
+        The class must already exist (create it by replaying one request or
+        via :meth:`create_class`).
+        """
+        if class_id not in self._classes:
+            raise KeyError(f"unknown class {class_id!r}")
+        self._manual_rules.append((re.compile(url_pattern), class_id))
+
+    def create_class(self, parts: URLParts) -> DocumentClass:
+        """Create (and register) an empty class for a URL's parts."""
+        cls = self._class_factory(parts.server, parts.hint)
+        self._classes[cls.class_id] = cls
+        self._by_server.setdefault(parts.server, []).append(cls)
+        self._by_key.setdefault(parts.key, []).append(cls)
+        return cls
+
+    # -- the grouping search ------------------------------------------------------
+
+    def classify(self, url: str, document: bytes) -> tuple[DocumentClass, bool]:
+        """Assign ``(url, document)`` to a class; returns ``(class, created)``.
+
+        URLs keep their class once grouped — subsequent requests for a known
+        URL skip the search entirely, so search cost is paid once per
+        distinct document, not once per request.
+        """
+        self.stats.requests += 1
+        known = self._url_to_class.get(url)
+        if known is not None:
+            cls = self._classes[known]
+            cls.stats.hits += 1
+            return cls, False
+
+        parts = self._rulebook.partition(url)
+        manual = self._match_manual(url)
+        if manual is not None:
+            self._adopt(manual, url)
+            self.stats.manual += 1
+            return manual, False
+
+        match = self._search(parts, document)
+        if match is not None:
+            self._adopt(match, url)
+            self.stats.matched += 1
+            return match, False
+
+        cls = self.create_class(parts)
+        self._adopt(cls, url)
+        self.stats.created += 1
+        return cls, True
+
+    def _match_manual(self, url: str) -> DocumentClass | None:
+        for pattern, class_id in self._manual_rules:
+            if pattern.match(url):
+                return self._classes[class_id]
+        return None
+
+    def _adopt(self, cls: DocumentClass, url: str) -> None:
+        cls.add_member(url)
+        cls.stats.hits += 1
+        self._url_to_class[url] = cls.class_id
+
+    def _search(self, parts: URLParts, document: bytes) -> DocumentClass | None:
+        eligible = self._eligible(parts)
+        if not eligible:
+            return None
+        threshold = self._config.match_threshold * len(document)
+        best: DocumentClass | None = None
+        best_estimate = math.inf
+        tries = 0
+        for cls in self._probe_order(eligible):
+            if tries >= self._config.max_tries:
+                break
+            estimate = self._estimate(cls, document)
+            if estimate is None:
+                continue  # class has no base yet; not probeable
+            tries += 1
+            self.stats.total_tries += 1
+            if estimate <= threshold:
+                if self._config.first_match:
+                    self._record_tries(tries)
+                    return cls
+                if estimate < best_estimate:
+                    best, best_estimate = cls, estimate
+        if best is not None:
+            self._record_tries(tries)
+        return best
+
+    def _record_tries(self, tries: int) -> None:
+        self.stats.tries_histogram[tries] = self.stats.tries_histogram.get(tries, 0) + 1
+
+    def _eligible(self, parts: URLParts) -> list[DocumentClass]:
+        """Heuristic 2: restrict to same-hint classes when any exist."""
+        same_hint = self._by_key.get(parts.key)
+        if same_hint:
+            return same_hint
+        return self._by_server.get(parts.server, [])
+
+    def _probe_order(self, eligible: list[DocumentClass]) -> list[DocumentClass]:
+        """Heuristic 3: ``a·N`` most popular first, then random others."""
+        n = self._config.max_tries
+        popular_quota = math.ceil(self._config.popular_fraction * n)
+        by_popularity = sorted(eligible, key=lambda c: c.popularity, reverse=True)
+        head = by_popularity[:popular_quota]
+        rest = by_popularity[popular_quota:]
+        if rest:
+            sample_size = min(len(rest), n - len(head))
+            tail = self._rng.sample(rest, sample_size) if sample_size > 0 else []
+        else:
+            tail = []
+        return head + tail
+
+    def _estimate(self, cls: DocumentClass, document: bytes) -> int | None:
+        """Estimated delta between the class base and ``document``."""
+        if self._config.use_light_estimator:
+            index = cls.light_index()
+            if index is None:
+                return None
+            return self._estimator.estimate_with_index(index, document)
+        base = cls.distributable_base if cls.can_serve_deltas else cls.raw_base
+        if not base or self._exact_delta is None:
+            return None
+        return self._exact_delta(base, document)

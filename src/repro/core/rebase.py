@@ -1,0 +1,102 @@
+"""Rebase policies: when a class replaces its base-file (paper Section IV).
+
+Two orthogonal triggers:
+
+* **group-rebase** — the randomized selection algorithm has found a better
+  base-file candidate *and* a rebase-timeout since the previous rebase has
+  expired.  Timeouts exist because "after a rebase, the new base-file should
+  be distributed to all clients before they can benefit from
+  delta-encoding" — rebasing too often churns client caches.
+* **basic-rebase** — "triggered when the generated deltas are relatively
+  large": the base has drifted from the class content.  On basic-rebase all
+  stored candidates are flushed and the current document becomes the base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base_file import BaseFilePolicy
+from repro.core.config import BaseFileConfig
+
+
+@dataclass(slots=True)
+class RebaseDecision:
+    """What the controller wants done for the current request, if anything."""
+
+    kind: str  # "group" or "basic"
+    new_base: bytes
+
+
+class RebaseController:
+    """Tracks delta quality and timeout state for one class."""
+
+    def __init__(self, config: BaseFileConfig) -> None:
+        self._config = config
+        self._ratio_ewma: float | None = None
+
+    @property
+    def smoothed_ratio(self) -> float | None:
+        """EWMA of delta-size / document-size for served deltas."""
+        return self._ratio_ewma
+
+    def note_delta(self, delta_bytes: int, document_bytes: int) -> None:
+        """Record the quality of one served delta."""
+        if document_bytes <= 0:
+            return
+        ratio = delta_bytes / document_bytes
+        alpha = self._config.ratio_smoothing
+        if self._ratio_ewma is None:
+            self._ratio_ewma = ratio
+        else:
+            self._ratio_ewma = alpha * ratio + (1 - alpha) * self._ratio_ewma
+
+    def reset(self) -> None:
+        """Forget delta-quality history (called after any rebase)."""
+        self._ratio_ewma = None
+
+    def check(
+        self,
+        policy: BaseFilePolicy,
+        incumbent: bytes | None,
+        current_document: bytes,
+        now: float,
+        last_rebase_at: float,
+    ) -> RebaseDecision | None:
+        """Decide whether to rebase, and to what.
+
+        Basic-rebase has priority: persistently bad deltas mean the class
+        content has drifted and waiting for the sampler is pointless.
+        """
+        if incumbent is None:
+            return RebaseDecision(kind="basic", new_base=current_document)
+        if (
+            self._ratio_ewma is not None
+            and self._ratio_ewma > self._config.basic_rebase_ratio
+        ):
+            return RebaseDecision(kind="basic", new_base=current_document)
+        if now - last_rebase_at < self._config.rebase_timeout:
+            return None
+        challenger = policy.current()
+        if challenger is None or challenger == incumbent:
+            return None
+        if not self._improves_enough(policy, challenger, incumbent):
+            return None
+        return RebaseDecision(kind="group", new_base=challenger)
+
+    def _improves_enough(
+        self, policy: BaseFilePolicy, challenger: bytes, incumbent: bytes
+    ) -> bool:
+        """Hysteresis: require the challenger to clearly beat the incumbent.
+
+        Only the randomized policy can measure an arbitrary document against
+        its stored samples; other policies rebase on any change.
+        """
+        utility_of = getattr(policy, "utility_of", None)
+        if utility_of is None:
+            return True
+        challenger_utility = utility_of(challenger)
+        incumbent_utility = utility_of(incumbent)
+        if challenger_utility is None or incumbent_utility is None:
+            return True
+        return challenger_utility * self._config.improvement_factor <= incumbent_utility

@@ -1,0 +1,95 @@
+"""Server-side base-file storage accounting and budget enforcement.
+
+The paper's whole motivation is that classic delta-encoding "suffers from
+enormous storage requirements on the server-side".  Class-based encoding
+shrinks the requirement by orders of magnitude, but a production
+delta-server still wants a hard budget: this module tracks per-class
+base-file bytes and, when a budget is set, reclaims space in two stages:
+
+1. drop *previous-generation* bases (they only smooth rebase transitions;
+   clients holding them fall back to a full response + re-fetch);
+2. release the base-files of the least popular classes entirely — the
+   class survives (membership, policy samples) and re-adopts a base from
+   the next request it sees, paying one anonymization warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import DocumentClass
+
+
+@dataclass(slots=True)
+class StorageStats:
+    """Budget-manager accounting."""
+
+    budget_bytes: int | None = None
+    previous_drops: int = 0
+    base_releases: int = 0
+
+    @property
+    def enforced(self) -> bool:
+        return self.budget_bytes is not None
+
+
+def class_storage_bytes(cls: DocumentClass) -> int:
+    """Bytes this class pins on the server (raw + distributable + previous)."""
+    total = len(cls.raw_base or b"")
+    distributable = cls.distributable_base
+    if distributable is not None and distributable is not cls.raw_base:
+        total += len(distributable)
+    if cls.previous_version is not None:
+        previous = cls.base_for_version(cls.previous_version)
+        total += len(previous or b"")
+    return total
+
+
+class StorageManager:
+    """Enforces a base-file storage budget across a set of classes."""
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be > 0, got {budget_bytes}")
+        self.stats = StorageStats(budget_bytes=budget_bytes)
+
+    def total_bytes(self, classes: list[DocumentClass]) -> int:
+        """Current base-file storage across ``classes``."""
+        return sum(class_storage_bytes(cls) for cls in classes)
+
+    def enforce(
+        self, classes: list[DocumentClass], protect: DocumentClass | None = None
+    ) -> int:
+        """Reclaim space until within budget; returns bytes reclaimed.
+
+        ``protect`` (typically the class serving the current request) is
+        never released, though its previous generation may be dropped.
+        """
+        budget = self.stats.budget_bytes
+        if budget is None:
+            return 0
+        used = self.total_bytes(classes)
+        if used <= budget:
+            return 0
+        reclaimed = 0
+
+        # Stage 1: previous generations, coldest classes first.
+        for cls in sorted(classes, key=lambda c: c.popularity):
+            if used - reclaimed <= budget:
+                return reclaimed
+            freed = cls.drop_previous()
+            if freed:
+                reclaimed += freed
+                self.stats.previous_drops += 1
+
+        # Stage 2: whole base-files of the least popular classes.
+        for cls in sorted(classes, key=lambda c: c.popularity):
+            if used - reclaimed <= budget:
+                break
+            if cls is protect:
+                continue
+            freed = cls.release_base()
+            if freed:
+                reclaimed += freed
+                self.stats.base_releases += 1
+        return reclaimed

@@ -1,0 +1,99 @@
+"""Delta-encoding substrate: Vdelta-style differ, wire codec, compression.
+
+Quick use::
+
+    from repro.delta import make_delta, apply_delta
+
+    delta = make_delta(base, target)        # compact wire bytes
+    assert apply_delta(delta, base) == target
+
+The substrate exposes three cost/precision tiers used by the class-based
+layer above it:
+
+* :class:`VdeltaEncoder` — the full differ (4-byte chunks, forward and
+  backward match extension) used to produce deltas sent to clients;
+* :class:`LightEstimator` — the paper's "light version" (larger chunks,
+  forward-only) used to *estimate* closeness during grouping;
+* :func:`delta_size` — wire-size of a full diff without serializing, used
+  by the base-file selection algorithm which only compares sizes.
+"""
+
+from __future__ import annotations
+
+from repro.delta.apply import apply_delta, replay
+from repro.delta.codec import (
+    checksum,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+)
+from repro.delta.compress import compress, compressed_size, decompress
+from repro.delta.errors import BaseMismatchError, CorruptDeltaError, DeltaError
+from repro.delta.instructions import (
+    Add,
+    Copy,
+    Instruction,
+    Run,
+    added_bytes,
+    base_coverage,
+    copied_bytes,
+    optimize_runs,
+    target_length,
+)
+from repro.delta.light import LightEstimator
+from repro.delta.vdelta import BaseIndex, EncodeResult, MatchStats, VdeltaEncoder
+
+_DEFAULT_ENCODER = VdeltaEncoder()
+
+
+def diff(base: bytes, target: bytes, encoder: VdeltaEncoder | None = None) -> EncodeResult:
+    """Diff ``target`` against ``base`` with the full Vdelta-style encoder."""
+    return (encoder or _DEFAULT_ENCODER).encode(base, target)
+
+
+def make_delta(
+    base: bytes, target: bytes, encoder: VdeltaEncoder | None = None
+) -> bytes:
+    """Produce serialized (uncompressed) delta wire bytes."""
+    result = diff(base, target, encoder)
+    return encode_delta(result.instructions, len(base), checksum(target))
+
+
+def delta_size(
+    base: bytes, target: bytes, encoder: VdeltaEncoder | None = None
+) -> int:
+    """Wire size of the delta between ``base`` and ``target``, in bytes."""
+    return encoded_size(diff(base, target, encoder).instructions, len(base))
+
+
+__all__ = [
+    "Add",
+    "BaseIndex",
+    "BaseMismatchError",
+    "Copy",
+    "CorruptDeltaError",
+    "DeltaError",
+    "EncodeResult",
+    "Instruction",
+    "LightEstimator",
+    "MatchStats",
+    "Run",
+    "VdeltaEncoder",
+    "added_bytes",
+    "apply_delta",
+    "base_coverage",
+    "checksum",
+    "compress",
+    "compressed_size",
+    "copied_bytes",
+    "decode_delta",
+    "decompress",
+    "delta_size",
+    "diff",
+    "encode_delta",
+    "encoded_size",
+    "make_delta",
+    "optimize_runs",
+    "replay",
+    "target_length",
+]

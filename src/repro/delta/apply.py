@@ -1,0 +1,61 @@
+"""Delta application: reconstruct a document from a base-file and a delta.
+
+This is the client-side half of Figure 1 — "the end towards the client
+reconstructs the current snapshot by combining the delta and the stored
+snapshot".  Reconstruction is a single linear replay of the instruction
+stream, cheap enough that the paper calls client-side latency
+"insignificant" (footnote 9).
+"""
+
+from __future__ import annotations
+
+from repro.delta.codec import checksum, decode_delta
+from repro.delta.errors import BaseMismatchError, CorruptDeltaError
+from repro.delta.instructions import Copy, Instruction, Run
+
+
+def replay(instructions: list[Instruction], base: bytes) -> bytes:
+    """Replay an in-memory instruction stream against ``base``."""
+    out = bytearray()
+    for instr in instructions:
+        if isinstance(instr, Copy):
+            end = instr.offset + instr.length
+            if end > len(base):
+                raise CorruptDeltaError(
+                    f"COPY [{instr.offset}, {end}) outside base of {len(base)}"
+                )
+            out += base[instr.offset : end]
+        elif isinstance(instr, Run):
+            out += bytes([instr.byte]) * instr.length
+        else:
+            out += instr.data
+    return bytes(out)
+
+
+def apply_delta(payload: bytes, base: bytes) -> bytes:
+    """Apply a serialized delta to ``base`` and return the target document.
+
+    Raises
+    ------
+    CorruptDeltaError
+        If the payload is malformed.
+    BaseMismatchError
+        If the base-file length or the reconstructed target checksum does
+        not match the values recorded at encode time — i.e. the client's
+        cached base-file is not the one the server diffed against.
+    """
+    instructions, tlen, blen, expect = decode_delta(payload)
+    if blen != len(base):
+        raise BaseMismatchError(
+            f"delta was made against a {blen}-byte base, got {len(base)} bytes"
+        )
+    target = replay(instructions, base)
+    if len(target) != tlen:
+        raise CorruptDeltaError(
+            f"reconstructed {len(target)} bytes, header says {tlen}"
+        )
+    if checksum(target) != expect:
+        raise BaseMismatchError(
+            "reconstructed document fails its checksum: wrong base-file version"
+        )
+    return target

@@ -1,0 +1,179 @@
+"""Binary wire format for delta instruction streams.
+
+A compact varint-based serialization in the spirit of VCDIFF (Korn & Vo,
+cited by the paper as [12]).  Layout::
+
+    magic    b"CBD1"
+    varint   target_length
+    varint   base_length
+    uint32   adler32(target)       -- integrity check applied on decode
+    repeated instructions:
+        0x00  ADD:  varint length, <length> literal bytes
+        0x01  COPY: varint offset, varint length
+
+The checksum catches the classic delta-encoding deployment failure: applying
+a delta to the wrong base-file version (e.g. a client whose cached base-file
+predates a rebase).  :func:`repro.delta.apply.apply_delta` turns a checksum
+mismatch into :class:`~repro.delta.errors.BaseMismatchError` so the caller
+can fall back to a full-response fetch, as the architecture in Section VI-C
+requires.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.delta.errors import CorruptDeltaError
+from repro.delta.instructions import Add, Copy, Instruction, Run, target_length
+
+MAGIC = b"CBD1"
+
+_OP_ADD = 0x00
+_OP_COPY = 0x01
+_OP_RUN = 0x02
+
+
+def write_varint(value: int, out: bytearray) -> None:
+    """Append ``value`` as a LEB128-style varint."""
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read a varint at ``pos``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptDeltaError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptDeltaError("varint too long")
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes :func:`write_varint` emits for ``value``."""
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
+
+
+def encode_delta(
+    instructions: list[Instruction], base_length: int, target_checksum: int
+) -> bytes:
+    """Serialize an instruction stream to the wire format."""
+    out = bytearray(MAGIC)
+    write_varint(target_length(instructions), out)
+    write_varint(base_length, out)
+    out += target_checksum.to_bytes(4, "big")
+    for instr in instructions:
+        if isinstance(instr, Add):
+            out.append(_OP_ADD)
+            write_varint(len(instr.data), out)
+            out += instr.data
+        elif isinstance(instr, Run):
+            out.append(_OP_RUN)
+            out.append(instr.byte)
+            write_varint(instr.length, out)
+        else:
+            out.append(_OP_COPY)
+            write_varint(instr.offset, out)
+            write_varint(instr.length, out)
+    return bytes(out)
+
+
+def decode_delta(payload: bytes) -> tuple[list[Instruction], int, int, int]:
+    """Parse the wire format.
+
+    Returns ``(instructions, target_length, base_length, target_checksum)``.
+    Raises :class:`CorruptDeltaError` on any structural inconsistency.
+    """
+    if payload[: len(MAGIC)] != MAGIC:
+        raise CorruptDeltaError(f"bad magic {payload[:4]!r}")
+    pos = len(MAGIC)
+    tlen, pos = read_varint(payload, pos)
+    blen, pos = read_varint(payload, pos)
+    if pos + 4 > len(payload):
+        raise CorruptDeltaError("truncated checksum")
+    checksum = int.from_bytes(payload[pos : pos + 4], "big")
+    pos += 4
+    instructions: list[Instruction] = []
+    produced = 0
+    while pos < len(payload):
+        op = payload[pos]
+        pos += 1
+        if op == _OP_ADD:
+            length, pos = read_varint(payload, pos)
+            if length == 0 or pos + length > len(payload):
+                raise CorruptDeltaError("bad ADD length")
+            instructions.append(Add(payload[pos : pos + length]))
+            pos += length
+            produced += length
+        elif op == _OP_COPY:
+            offset, pos = read_varint(payload, pos)
+            length, pos = read_varint(payload, pos)
+            if length == 0 or offset + length > blen:
+                raise CorruptDeltaError(
+                    f"COPY [{offset}, {offset + length}) outside base of {blen}"
+                )
+            instructions.append(Copy(offset, length))
+            produced += length
+        elif op == _OP_RUN:
+            if pos >= len(payload):
+                raise CorruptDeltaError("truncated RUN byte")
+            byte = payload[pos]
+            pos += 1
+            length, pos = read_varint(payload, pos)
+            if length == 0:
+                raise CorruptDeltaError("bad RUN length")
+            instructions.append(Run(byte, length))
+            produced += length
+        else:
+            raise CorruptDeltaError(f"unknown opcode {op:#x}")
+    if produced != tlen:
+        raise CorruptDeltaError(
+            f"instructions produce {produced} bytes, header says {tlen}"
+        )
+    return instructions, tlen, blen, checksum
+
+
+def encoded_size(instructions: list[Instruction], base_length: int) -> int:
+    """Exact wire size the stream would serialize to, without serializing.
+
+    Used by the grouping estimator and the base-file selection algorithm,
+    which only need delta *sizes*, many times per request.
+    """
+    size = len(MAGIC) + 4  # magic + checksum
+    produced = 0
+    for instr in instructions:
+        if isinstance(instr, Add):
+            size += 1 + varint_size(len(instr.data)) + len(instr.data)
+            produced += len(instr.data)
+        elif isinstance(instr, Run):
+            size += 2 + varint_size(instr.length)
+            produced += instr.length
+        else:
+            size += 1 + varint_size(instr.offset) + varint_size(instr.length)
+            produced += instr.length
+    size += varint_size(produced) + varint_size(base_length)
+    return size
+
+
+def checksum(data: bytes) -> int:
+    """Adler-32 checksum used for target/base integrity tags."""
+    return zlib.adler32(data) & 0xFFFFFFFF

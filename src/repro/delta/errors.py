@@ -1,0 +1,19 @@
+"""Exception hierarchy for the delta substrate."""
+
+from __future__ import annotations
+
+
+class DeltaError(Exception):
+    """Base class for all delta-encoding failures."""
+
+
+class CorruptDeltaError(DeltaError):
+    """The delta payload is structurally invalid (bad magic, truncation, ...)."""
+
+
+class BaseMismatchError(DeltaError):
+    """The delta was applied to a different base-file than it was made for.
+
+    Typically a stale client cache after a rebase; the caller should fetch
+    the full response (and the new base-file) instead.
+    """

@@ -1,0 +1,203 @@
+"""Instruction model for delta-encoded documents.
+
+A delta is a sequence of instructions that, replayed against a *base-file*,
+reproduces the *target* document (the current snapshot of a dynamic page):
+
+* :class:`Copy` — copy ``length`` bytes starting at ``offset`` in the
+  base-file.
+* :class:`Add` — append literal bytes that have no usable match in the
+  base-file.
+* :class:`Run` — append ``length`` repetitions of one byte (padding,
+  separators); VCDIFF's RUN.
+
+This mirrors the COPY/ADD/RUN structure of Vdelta and the VCDIFF format that the
+paper builds on (Hunt, Vo & Tichy; Korn & Vo).  Keeping the instruction
+stream explicit — rather than emitting opaque compressed bytes — is what
+allows the class-based layer to inspect *which base-file chunks were used*,
+which both the grouping estimator (Section III) and the anonymization
+process (Section V) require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Copy:
+    """Copy ``length`` bytes from ``offset`` in the base-file."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"Copy offset must be >= 0, got {self.offset}")
+        if self.length <= 0:
+            raise ValueError(f"Copy length must be > 0, got {self.length}")
+
+
+@dataclass(frozen=True, slots=True)
+class Add:
+    """Append literal ``data`` to the output."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise ValueError("Add data must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class Run:
+    """Append ``length`` repetitions of one ``byte`` (VCDIFF's RUN).
+
+    Long single-byte runs (padding, separator rows) would otherwise ship as
+    literal ADD data; a RUN costs 3-4 wire bytes regardless of length.
+    """
+
+    byte: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte <= 255:
+            raise ValueError(f"Run byte must be in [0, 255], got {self.byte}")
+        if self.length <= 0:
+            raise ValueError(f"Run length must be > 0, got {self.length}")
+
+
+Instruction = Copy | Add | Run
+
+
+def target_length(instructions: Iterable[Instruction]) -> int:
+    """Total number of output bytes the instruction stream produces."""
+    total = 0
+    for instr in instructions:
+        if isinstance(instr, Copy):
+            total += instr.length
+        elif isinstance(instr, Run):
+            total += instr.length
+        else:
+            total += len(instr.data)
+    return total
+
+
+def copied_bytes(instructions: Iterable[Instruction]) -> int:
+    """Number of output bytes sourced from the base-file."""
+    return sum(i.length for i in instructions if isinstance(i, Copy))
+
+
+def added_bytes(instructions: Iterable[Instruction]) -> int:
+    """Number of non-copied output bytes (ADD literals and RUN output)."""
+    total = 0
+    for instr in instructions:
+        if isinstance(instr, Add):
+            total += len(instr.data)
+        elif isinstance(instr, Run):
+            total += instr.length
+    return total
+
+
+def base_coverage(
+    instructions: Iterable[Instruction], base_length: int
+) -> list[tuple[int, int]]:
+    """Merged, sorted ``(start, end)`` ranges of the base-file used by copies.
+
+    The anonymization process (paper Section V) counts, per base-file chunk,
+    how often the chunk was *common* between the base-file and another
+    document; coverage ranges are the raw material for those counters.
+    """
+    ranges: list[tuple[int, int]] = []
+    for instr in instructions:
+        if isinstance(instr, Copy):
+            end = instr.offset + instr.length
+            if end > base_length:
+                raise ValueError(
+                    f"Copy [{instr.offset}, {end}) exceeds base length {base_length}"
+                )
+            ranges.append((instr.offset, end))
+    ranges.sort()
+    merged: list[tuple[int, int]] = []
+    for start, end in ranges:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def validate(instructions: Sequence[Instruction], base_length: int) -> None:
+    """Raise ``ValueError`` if any instruction is inconsistent with the base."""
+    for instr in instructions:
+        if isinstance(instr, Copy) and instr.offset + instr.length > base_length:
+            raise ValueError(
+                f"Copy [{instr.offset}, {instr.offset + instr.length}) "
+                f"exceeds base length {base_length}"
+            )
+
+
+def coalesce(instructions: Iterable[Instruction]) -> Iterator[Instruction]:
+    """Merge adjacent compatible instructions.
+
+    Adjacent :class:`Add` runs are concatenated, back-to-back :class:`Copy`
+    ranges (where one ends exactly where the next begins) are fused, and
+    same-byte :class:`Run` neighbours are merged.  Encoders may emit
+    fragmented streams; coalescing shrinks the encoded wire size without
+    changing the reconstructed output.
+    """
+    pending: Instruction | None = None
+    for instr in instructions:
+        if pending is None:
+            pending = instr
+            continue
+        if isinstance(pending, Add) and isinstance(instr, Add):
+            pending = Add(pending.data + instr.data)
+        elif (
+            isinstance(pending, Copy)
+            and isinstance(instr, Copy)
+            and pending.offset + pending.length == instr.offset
+        ):
+            pending = Copy(pending.offset, pending.length + instr.length)
+        elif (
+            isinstance(pending, Run)
+            and isinstance(instr, Run)
+            and pending.byte == instr.byte
+        ):
+            pending = Run(pending.byte, pending.length + instr.length)
+        else:
+            yield pending
+            pending = instr
+    if pending is not None:
+        yield pending
+
+
+# A RUN instruction costs ~4 wire bytes; splitting an ADD around a shorter
+# run than this gains nothing once the extra ADD headers are paid.
+MIN_RUN = 24
+
+
+def optimize_runs(
+    instructions: Iterable[Instruction], min_run: int = MIN_RUN
+) -> Iterator[Instruction]:
+    """Rewrite long single-byte stretches inside ADD literals as RUNs."""
+    for instr in instructions:
+        if not isinstance(instr, Add) or len(instr.data) < min_run:
+            yield instr
+            continue
+        data = instr.data
+        start = 0  # start of the pending literal segment
+        i = 0
+        n = len(data)
+        while i < n:
+            j = i + 1
+            while j < n and data[j] == data[i]:
+                j += 1
+            if j - i >= min_run:
+                if i > start:
+                    yield Add(data[start:i])
+                yield Run(data[i], j - i)
+                start = j
+            i = j
+        if start < n:
+            yield Add(data[start:])

@@ -1,0 +1,32 @@
+"""HTTP-like message substrate used by the simulated architecture (Fig. 2)."""
+
+from __future__ import annotations
+
+from repro.http.cookies import CookieJar, issue_uid
+from repro.http.messages import (
+    HEADER_ACCEPT_DELTA,
+    HEADER_CACHE_CONTROL,
+    HEADER_CONTENT_ENCODING,
+    HEADER_DELTA,
+    HEADER_DELTA_BASE,
+    Headers,
+    Request,
+    Response,
+    base_ref,
+    parse_base_ref,
+)
+
+__all__ = [
+    "CookieJar",
+    "HEADER_ACCEPT_DELTA",
+    "HEADER_CACHE_CONTROL",
+    "HEADER_CONTENT_ENCODING",
+    "HEADER_DELTA",
+    "HEADER_DELTA_BASE",
+    "Headers",
+    "Request",
+    "Response",
+    "base_ref",
+    "issue_uid",
+    "parse_base_ref",
+]

@@ -1,0 +1,42 @@
+"""Cookie-jar model for user identification.
+
+Section V of the paper leans on cookies for telling users apart during
+anonymization, and explicitly calls out that the mapping is imperfect:
+"Netscape and Internet Explorer do not share cookies ... the system will
+interpret these transactions as originating from different users."  The
+:class:`CookieJar` here is per *browser instance*, so the simulator can
+reproduce that very failure mode (one human, two jars).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_uid_counter = itertools.count(1)
+
+
+def issue_uid(prefix: str = "u") -> str:
+    """Server-issued opaque user identification for a new cookie jar."""
+    return f"{prefix}{next(_uid_counter):08d}"
+
+
+@dataclass(slots=True)
+class CookieJar:
+    """Cookies held by one browser instance."""
+
+    cookies: dict[str, str] = field(default_factory=dict)
+
+    def ensure_uid(self) -> str:
+        """Return this jar's uid, issuing one on first use (Set-Cookie)."""
+        if "uid" not in self.cookies:
+            self.cookies["uid"] = issue_uid()
+        return self.cookies["uid"]
+
+    def as_request_cookies(self) -> dict[str, str]:
+        """Copy of the cookies to attach to an outgoing request."""
+        return dict(self.cookies)
+
+    def clear(self) -> None:
+        """Forget everything (user cleared browser data)."""
+        self.cookies.clear()

@@ -1,0 +1,154 @@
+"""Minimal HTTP-like message model for the simulated architecture.
+
+The deployment architecture (paper Section VI-C, Fig. 2) is transparent:
+clients, proxy-caches, and web-servers exchange ordinary requests and
+responses, and the delta-server rides on top using only standard
+header-style metadata.  This module models exactly the message surface the
+rest of the system needs — methods, URLs, headers, cookies, cachability —
+without pretending to be a full HTTP stack.
+
+Delta-specific headers:
+
+* ``X-Delta-Base`` — on a base-file response: ``"<class_id>/<version>"``.
+  Base-file responses are marked cachable so proxies treat them as static
+  content.
+* ``X-Delta`` — on a delta response: the base ``"<class_id>/<version>"``
+  this delta must be applied to.
+* ``X-Accept-Delta`` — on a request: the ``"<class_id>/<version>"`` pairs
+  of the base-files the client already holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HEADER_DELTA_BASE = "X-Delta-Base"
+HEADER_DELTA = "X-Delta"
+HEADER_ACCEPT_DELTA = "X-Accept-Delta"
+HEADER_CONTENT_ENCODING = "Content-Encoding"
+HEADER_CACHE_CONTROL = "Cache-Control"
+
+
+class Headers:
+    """Case-insensitive header multimap with last-write-wins semantics."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, initial: dict[str, str] | None = None) -> None:
+        self._items: dict[str, tuple[str, str]] = {}
+        if initial:
+            for name, value in initial.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        self._items[name.lower()] = (name, value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        entry = self._items.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+    def __iter__(self):
+        return iter(original for original, _ in self._items.values())
+
+    def items(self) -> list[tuple[str, str]]:
+        return [(original, value) for original, value in self._items.values()]
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = dict(self._items)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(self.items())!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        return {k: v for k, (_, v) in self._items.items()} == {
+            k: v for k, (_, v) in other._items.items()
+        }
+
+
+@dataclass(slots=True)
+class Request:
+    """A client request flowing through proxy and delta-server to the origin."""
+
+    url: str
+    method: str = "GET"
+    headers: Headers = field(default_factory=Headers)
+    cookies: dict[str, str] = field(default_factory=dict)
+    client_id: str = "anonymous"
+    timestamp: float = 0.0
+
+    @property
+    def user_id(self) -> str | None:
+        """User identification carried in the ``uid`` cookie.
+
+        The paper (Section V) notes the standard way to distinguish users is
+        "by distributing to them user identifications through cookies" —
+        and that the same human can appear as two users (two browsers that
+        do not share cookie jars).  Anonymization counts *cookie users*, not
+        humans, exactly as deployed systems must.
+        """
+        return self.cookies.get("uid")
+
+    def accepts_delta(self) -> list[str]:
+        """Base-file ids the client advertises (``X-Accept-Delta`` header)."""
+        raw = self.headers.get(HEADER_ACCEPT_DELTA, "")
+        return [token for token in raw.split(",") if token] if raw else []
+
+
+@dataclass(slots=True)
+class Response:
+    """A response, possibly a delta or a base-file rather than a full body."""
+
+    status: int = 200
+    body: bytes = b""
+    headers: Headers = field(default_factory=Headers)
+    cachable: bool = False
+
+    @property
+    def content_length(self) -> int:
+        return len(self.body)
+
+    @property
+    def is_delta(self) -> bool:
+        return HEADER_DELTA in self.headers
+
+    @property
+    def is_base_file(self) -> bool:
+        return HEADER_DELTA_BASE in self.headers
+
+    @property
+    def delta_base_ref(self) -> str | None:
+        """``"<class_id>/<version>"`` of the base this delta applies to."""
+        return self.headers.get(HEADER_DELTA)
+
+    @property
+    def base_file_ref(self) -> str | None:
+        """``"<class_id>/<version>"`` identity of this base-file response."""
+        return self.headers.get(HEADER_DELTA_BASE)
+
+    def mark_cachable(self, max_age: int = 86400) -> None:
+        """Flag the response as proxy-cachable (base-files are; deltas aren't)."""
+        self.cachable = True
+        self.headers.set(HEADER_CACHE_CONTROL, f"public, max-age={max_age}")
+
+
+def base_ref(class_id: str, version: int) -> str:
+    """Render the ``"<class_id>/<version>"`` token used in delta headers."""
+    return f"{class_id}/{version}"
+
+
+def parse_base_ref(token: str) -> tuple[str, int]:
+    """Inverse of :func:`base_ref`; raises ``ValueError`` on malformed input."""
+    class_id, sep, version = token.rpartition("/")
+    if not sep or not class_id:
+        raise ValueError(f"malformed base ref {token!r}")
+    return class_id, int(version)

@@ -1,0 +1,15 @@
+"""Metrics and table rendering."""
+
+from __future__ import annotations
+
+from repro.metrics.collector import BandwidthReport, SizeSample
+from repro.metrics.report import fmt_factor, fmt_kb, fmt_pct, render_table
+
+__all__ = [
+    "BandwidthReport",
+    "SizeSample",
+    "fmt_factor",
+    "fmt_kb",
+    "fmt_pct",
+    "render_table",
+]

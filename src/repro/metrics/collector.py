@@ -1,0 +1,88 @@
+"""Bandwidth and traffic accounting across a replayed trace.
+
+Rolls the per-component stats (server, proxy, clients) into the quantities
+the paper reports: direct KB vs delta KB, savings factor, and the split
+between delta traffic and base-file distribution traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class BandwidthReport:
+    """Table II-style bandwidth summary for one replayed trace."""
+
+    name: str
+    requests: int = 0
+    #: bytes a no-delta deployment would have sent (sum of full snapshots)
+    direct_bytes: int = 0
+    #: document-response bytes actually sent to clients (deltas + fulls)
+    sent_bytes: int = 0
+    #: base-file bytes sent from the *server* (before proxy caching)
+    base_file_upstream_bytes: int = 0
+    #: base-file bytes received by clients (after proxy caching)
+    base_file_downstream_bytes: int = 0
+    deltas_served: int = 0
+    full_served: int = 0
+
+    @property
+    def total_sent_bytes(self) -> int:
+        """Server-side outbound bytes: documents + base-file distribution.
+
+        Base-files count once per proxy miss — the server-side link is what
+        Table II's "Delta KB" measures.
+        """
+        return self.sent_bytes + self.base_file_upstream_bytes
+
+    @property
+    def savings(self) -> float:
+        """Fractional savings including base-file distribution cost."""
+        if not self.direct_bytes:
+            return 0.0
+        return 1.0 - self.total_sent_bytes / self.direct_bytes
+
+    @property
+    def reduction_factor(self) -> float:
+        """The paper's "factor of 20/30" bandwidth-consumption reduction."""
+        if not self.total_sent_bytes:
+            return float("inf")
+        return self.direct_bytes / self.total_sent_bytes
+
+    @property
+    def direct_kb(self) -> int:
+        return round(self.direct_bytes / 1024)
+
+    @property
+    def delta_kb(self) -> int:
+        return round(self.total_sent_bytes / 1024)
+
+
+@dataclass(slots=True)
+class SizeSample:
+    """Accumulates a distribution of sizes (delta sizes, doc sizes, ...)."""
+
+    values: list[int] = field(default_factory=list)
+
+    def add(self, value: int) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        if not self.values:
+            return 0
+        ordered = sorted(self.values)
+        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
+        return ordered[rank]

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark regenerates a table or figure from the paper; this module
+renders them in aligned ASCII so `pytest benchmarks/ --benchmark-only`
+output can be compared side-by-side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_pct(fraction: float, digits: int = 1) -> str:
+    """0.948 -> '94.8%'."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def fmt_kb(size_bytes: float) -> str:
+    """Bytes -> whole KB string."""
+    return f"{size_bytes / 1024:.0f}"
+
+
+def fmt_factor(value: float, digits: int = 1) -> str:
+    """30.2 -> '30.2x'."""
+    return f"{value:.{digits}f}x"

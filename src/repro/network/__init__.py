@@ -1,0 +1,26 @@
+"""Network substrate: TCP slow-start model and link specifications."""
+
+from __future__ import annotations
+
+from repro.network.latency import LatencyComparison, LatencyTracker, compare_sizes
+from repro.network.link import HIGH_BANDWIDTH, LAN, MODEM_56K, LinkSpec
+from repro.network.tcp import (
+    TransferBreakdown,
+    mean_transfer_time,
+    slow_start_rounds,
+    transfer_time,
+)
+
+__all__ = [
+    "HIGH_BANDWIDTH",
+    "LAN",
+    "LatencyComparison",
+    "LatencyTracker",
+    "LinkSpec",
+    "MODEM_56K",
+    "TransferBreakdown",
+    "compare_sizes",
+    "mean_transfer_time",
+    "slow_start_rounds",
+    "transfer_time",
+]

@@ -1,0 +1,94 @@
+"""Latency measurement over simulated links.
+
+The paper validates its analytic L1/L2 estimates with a measurement tool
+(MyVitalAgent); this module plays that role over our link models, and also
+converts a stream of per-response transfer sizes (from a replayed trace)
+into user-perceived latency statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.network.link import LinkSpec
+from repro.network.tcp import mean_transfer_time, slow_start_rounds, transfer_time
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyComparison:
+    """L1/L2 style comparison of two transfer sizes over one link."""
+
+    link: str
+    size_large: int
+    size_small: int
+    latency_large: float
+    latency_small: float
+    rounds_large: int
+    rounds_small: int
+
+    @property
+    def latency_ratio(self) -> float:
+        """The paper's L1/L2."""
+        return self.latency_large / self.latency_small
+
+    @property
+    def rounds_ratio(self) -> float:
+        """Slow-start rounds ratio — the paper's ≈ log2(S1/S2) argument."""
+        if self.rounds_small == 0:
+            return float(self.rounds_large)
+        return self.rounds_large / self.rounds_small
+
+
+def compare_sizes(
+    size_large: int, size_small: int, link: LinkSpec, samples: int = 500
+) -> LatencyComparison:
+    """Measure L1/L2 for two response sizes over ``link``."""
+    return LatencyComparison(
+        link=link.name,
+        size_large=size_large,
+        size_small=size_small,
+        latency_large=mean_transfer_time(size_large, link, samples=samples),
+        latency_small=mean_transfer_time(size_small, link, samples=samples),
+        rounds_large=slow_start_rounds(size_large, link),
+        rounds_small=slow_start_rounds(size_small, link),
+    )
+
+
+@dataclass(slots=True)
+class LatencyTracker:
+    """Accumulates user-perceived latency for a stream of transfers."""
+
+    link: LinkSpec
+    seed: int = 11
+    latencies: list[float] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def record(self, size_bytes: int) -> float:
+        """Record one response transfer; returns its modelled latency."""
+        latency = transfer_time(size_bytes, self.link, rng=self._rng).total
+        self.latencies.append(latency)
+        return latency
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def total(self) -> float:
+        return sum(self.latencies)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile latency (q in [0, 100])."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
+        return ordered[rank]

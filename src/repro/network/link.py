@@ -1,0 +1,73 @@
+"""Link models for the latency analysis (paper Section VI-A).
+
+Two canonical links from the paper:
+
+* a **high-bandwidth** path, where TCP slow-start round trips dominate and
+  the latency ratio between a 30 KB and a 1 KB transfer is roughly
+  ``log2(S1/S2)`` ≈ 5;
+* a **56 Kb/s modem** with 100 ms RTT, where transmission time dominates
+  ("the transmission time of a single packet is roughly equal to twice
+  RTT") and fixed costs pull the ratio from the naive ``S1/S2 = 30`` down
+  to around 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """One network path between two parties."""
+
+    name: str
+    bandwidth_bps: float  # application-visible bits per second
+    rtt: float  # round-trip time, seconds
+    mss: int = 1460  # TCP maximum segment size, bytes
+    initial_cwnd: int = 2  # initial congestion window, segments
+    #: RTTs consumed by connection setup (SYN, SYN-ACK, request).
+    setup_rtts: float = 1.5
+    #: Random-loss probability per transfer; each loss costs one RTO.
+    loss_rate: float = 0.0
+    #: Retransmission timeout charged per loss event, seconds.
+    rto: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be > 0, got {self.bandwidth_bps}")
+        if self.rtt <= 0:
+            raise ValueError(f"rtt must be > 0, got {self.rtt}")
+        if self.mss <= 0:
+            raise ValueError(f"mss must be > 0, got {self.mss}")
+        if self.initial_cwnd < 1:
+            raise ValueError(f"initial_cwnd must be >= 1, got {self.initial_cwnd}")
+
+    @property
+    def bandwidth_delay_segments(self) -> float:
+        """Bandwidth-delay product in MSS segments — the pipe's capacity."""
+        return self.bandwidth_bps * self.rtt / 8 / self.mss
+
+    @property
+    def packet_transmission_time(self) -> float:
+        """Seconds to clock one MSS onto the wire."""
+        return self.mss * 8 / self.bandwidth_bps
+
+
+#: High-bandwidth path: fast enough that slow-start RTTs dominate.  The
+#: initial window of 1 segment matches the paper-era TCP stacks whose RTT
+#: counting yields the "L1/L2 roughly equal to 5" figure.
+HIGH_BANDWIDTH = LinkSpec(
+    name="high-bandwidth", bandwidth_bps=10_000_000, rtt=0.08, initial_cwnd=1
+)
+
+#: The paper's 56 Kb/s modem with 100 ms RTT.  Setup covers the dial-up
+#: path's connect + request overhead; the loss term models the "timeouts
+#: and retransmissions caused by packet losses" the paper charges to large
+#: transfers.
+MODEM_56K = LinkSpec(
+    name="modem-56k", bandwidth_bps=56_000, rtt=0.1, setup_rtts=3.0, loss_rate=0.01
+)
+
+#: Server-side LAN between delta-server and origin (Fig. 2 recommends
+#: placing them next to each other precisely to make this negligible).
+LAN = LinkSpec(name="lan", bandwidth_bps=100_000_000, rtt=0.001, setup_rtts=0.0)

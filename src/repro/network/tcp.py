@@ -1,0 +1,128 @@
+"""TCP slow-start transfer-time model.
+
+Implements the standard round-based model the paper's Section VI-A
+analysis rests on (see also Barford & Crovella, the paper's [2]): the
+sender's window starts at ``initial_cwnd`` segments and doubles each round
+until it fills the bandwidth-delay product, after which the transfer is
+bandwidth-limited.  Each round costs ``max(RTT, window transmission
+time)``; connection setup and loss/retransmission overheads are added on
+top.
+
+Two observations the paper derives fall straight out of this model, and the
+benchmark ``bench_latency_model.py`` checks both:
+
+* high bandwidth → rounds ≈ ``log2(size ratio)`` → a 30 KB document costs
+  about 5× the RTT-rounds of a 1 KB delta;
+* 56 Kb/s modem → transmission-dominated, with setup/loss overheads pulling
+  the naive 30× ratio down to ≈ 10×.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.network.link import LinkSpec
+
+
+@dataclass(frozen=True, slots=True)
+class TransferBreakdown:
+    """Where a transfer's time went."""
+
+    total: float
+    setup: float
+    rounds: int  # slow-start/window rounds spent
+    round_time: float  # time across all window rounds
+    transmission: float  # pure serialization component included in rounds
+    loss_penalty: float
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("negative transfer time")
+
+
+def slow_start_rounds(size_bytes: int, link: LinkSpec) -> int:
+    """Number of window rounds to deliver ``size_bytes`` (no losses).
+
+    The quantity the paper counts when it argues the RTTs needed for a
+    document are "roughly log S1/S2 times" those for a delta.
+    """
+    if size_bytes <= 0:
+        return 0
+    segments = math.ceil(size_bytes / link.mss)
+    cwnd = float(link.initial_cwnd)
+    cap = max(link.bandwidth_delay_segments, 1.0)
+    rounds = 0
+    sent = 0
+    while sent < segments:
+        window = min(cwnd, cap)
+        sent += int(window)
+        rounds += 1
+        cwnd = min(cwnd * 2, cap)
+    return rounds
+
+
+def transfer_time(
+    size_bytes: int,
+    link: LinkSpec,
+    rng: random.Random | None = None,
+    include_setup: bool = True,
+) -> TransferBreakdown:
+    """Model the time to deliver ``size_bytes`` over ``link``.
+
+    ``rng`` draws loss events when the link has a non-zero ``loss_rate``;
+    omit it for the deterministic no-loss time.
+    """
+    setup = link.setup_rtts * link.rtt if include_setup else 0.0
+    if size_bytes <= 0:
+        return TransferBreakdown(
+            total=setup, setup=setup, rounds=0, round_time=0.0,
+            transmission=0.0, loss_penalty=0.0,
+        )
+    segments = math.ceil(size_bytes / link.mss)
+    cap = max(link.bandwidth_delay_segments, 1.0)
+    cwnd = float(link.initial_cwnd)
+    rounds = 0
+    sent = 0
+    round_time = 0.0
+    transmission = 0.0
+    while sent < segments:
+        window = int(min(cwnd, cap))
+        window = min(window, segments - sent)
+        window = max(window, 1)
+        serialize = window * link.packet_transmission_time
+        # A round ends when the last ACK returns (RTT) or when the sender is
+        # still clocking bytes out (serialization), whichever is longer.
+        round_time += max(link.rtt, serialize)
+        transmission += serialize
+        sent += window
+        rounds += 1
+        cwnd = min(cwnd * 2, cap)
+    loss_penalty = 0.0
+    if link.loss_rate > 0 and rng is not None:
+        # Per-segment independent loss; each loss event costs one RTO.
+        losses = sum(1 for _ in range(segments) if rng.random() < link.loss_rate)
+        loss_penalty = losses * link.rto
+    total = setup + round_time + loss_penalty
+    return TransferBreakdown(
+        total=total,
+        setup=setup,
+        rounds=rounds,
+        round_time=round_time,
+        transmission=transmission,
+        loss_penalty=loss_penalty,
+    )
+
+
+def mean_transfer_time(
+    size_bytes: int, link: LinkSpec, samples: int = 200, seed: int = 7
+) -> float:
+    """Average transfer time including loss effects (Monte-Carlo)."""
+    if link.loss_rate <= 0:
+        return transfer_time(size_bytes, link).total
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(samples):
+        total += transfer_time(size_bytes, link, rng=rng).total
+    return total / samples

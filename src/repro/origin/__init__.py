@@ -1,0 +1,34 @@
+"""Simulated origin web-servers and synthetic dynamic content.
+
+Stands in for the paper's three commercial web-sites (whose traces and URLs
+are withheld for privacy); see DESIGN.md §1 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from repro.origin.private import (
+    PrivateProfile,
+    card_number_for,
+    find_card_numbers,
+    profile_for,
+    shared_card_number,
+)
+from repro.origin.server import OriginServer, OriginStats
+from repro.origin.site import PageKey, SiteSpec, SyntheticSite, UrlStyle
+from repro.origin.text import rng_for, stable_seed
+
+__all__ = [
+    "OriginServer",
+    "OriginStats",
+    "PageKey",
+    "PrivateProfile",
+    "SiteSpec",
+    "SyntheticSite",
+    "UrlStyle",
+    "card_number_for",
+    "find_card_numbers",
+    "profile_for",
+    "rng_for",
+    "shared_card_number",
+    "stable_seed",
+]

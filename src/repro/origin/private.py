@@ -1,0 +1,68 @@
+"""Private-information model: the data anonymization must keep out of
+shared base-files.
+
+Section V's motivating example is a credit-card number appearing in a
+rendered page (order confirmation, account box).  We generate
+deterministic, user-specific private tokens and provide a detector so
+tests and benchmarks can assert — not eyeball — that no private token of
+any user survives in an anonymized base-file.
+
+The module also models the paper's *shared corporate card* concern: a
+private token deliberately shared by a small set of users, which defeats
+M=1 anonymization but not M>1.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.origin.text import rng_for
+
+# Luhn-less 16-digit "card numbers" in 4-4-4-4 form, visually distinct from
+# filler text so coverage analysis is unambiguous.
+_CARD_RE = re.compile(rb"\b\d{4}-\d{4}-\d{4}-\d{4}\b")
+
+
+def card_number_for(user_id: str, salt: str = "") -> str:
+    """Deterministic 16-digit card-like token for ``user_id``."""
+    rng = rng_for("card", user_id, salt)
+    groups = ["".join(str(rng.randrange(10)) for _ in range(4)) for _ in range(4)]
+    return "-".join(groups)
+
+
+def shared_card_number(group: str) -> str:
+    """A corporate card shared by every member of ``group``."""
+    return card_number_for(f"corp:{group}", salt="shared")
+
+
+def find_card_numbers(document: bytes) -> set[bytes]:
+    """All card-like tokens present in ``document``."""
+    return set(_CARD_RE.findall(document))
+
+
+@dataclass(frozen=True, slots=True)
+class PrivateProfile:
+    """What private data a user's rendered pages may contain."""
+
+    user_id: str
+    card: str
+    shared_group: str | None = None
+
+    @property
+    def shared_card(self) -> str | None:
+        return shared_card_number(self.shared_group) if self.shared_group else None
+
+    def tokens(self) -> list[str]:
+        """Every private token that could appear in this user's pages."""
+        toks = [self.card]
+        if self.shared_group:
+            toks.append(shared_card_number(self.shared_group))
+        return toks
+
+
+def profile_for(user_id: str, shared_group: str | None = None) -> PrivateProfile:
+    """Build the private-data profile for a user."""
+    return PrivateProfile(
+        user_id=user_id, card=card_number_for(user_id), shared_group=shared_group
+    )

@@ -1,0 +1,203 @@
+"""Synthetic dynamic web-site: the content the delta-server accelerates.
+
+A :class:`SyntheticSite` deterministically renders product pages assembled
+from the blocks in :mod:`repro.origin.templates`.  It stands in for the
+paper's (withheld) commercial sites; :class:`SiteSpec` exposes the knobs
+that control how much temporal and spatial redundancy exists for the scheme
+to exploit.
+
+The three ``url_style`` values reproduce Table I's three site organizations
+exactly, including the admin regex rules each style needs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.origin import templates
+from repro.origin.private import PrivateProfile
+from repro.origin.text import rng_for
+from repro.url.parts import split_server
+
+
+class UrlStyle(enum.Enum):
+    """The three URL organizations of paper Table I."""
+
+    PATH_QUERY = "path_query"  # www.foo.com/laptops?id=100
+    QUERY_ONLY = "query_only"  # www.foo.com/?dept=laptops&id=100
+    PATH_ONLY = "path_only"  # www.foo.com/laptops/100
+
+
+@dataclass(frozen=True, slots=True)
+class SiteSpec:
+    """Configuration of one synthetic site.
+
+    Byte sizes are approximate targets per block; defaults give ~35 KB
+    documents, inside the 30–50 KB band the paper reports for documents
+    that benefit from delta-encoding (Section VI-A).
+    """
+
+    name: str
+    url_style: UrlStyle = UrlStyle.PATH_QUERY
+    categories: tuple[str, ...] = ("laptops", "desktops", "tablets", "phones")
+    products_per_category: int = 50
+    header_bytes: int = 4000
+    skeleton_bytes: int = 16000
+    detail_bytes: int = 9000
+    dynamic_bytes: int = 3000
+    personal_bytes: int = 1200
+    epoch_seconds: float = 60.0
+    #: how often product-detail content is revised wholesale (catalog
+    #: edits); infinite = never (the default)
+    detail_revision_seconds: float = math.inf
+    personalized: bool = True
+    private_page_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError("site needs at least one category")
+        if self.products_per_category < 1:
+            raise ValueError("products_per_category must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class PageKey:
+    """Identity of one dynamic document (a product page)."""
+
+    category: str
+    product_id: int
+
+
+class SyntheticSite:
+    """Deterministic renderer for one synthetic dynamic site."""
+
+    def __init__(self, spec: SiteSpec) -> None:
+        self.spec = spec
+        # Stable blocks are render-invariant; build them once.
+        self._header = templates.site_header(spec.name, spec.header_bytes)
+        self._footer = templates.footer(spec.name)
+        self._skeletons = {
+            cat: templates.category_skeleton(spec.name, cat, spec.skeleton_bytes)
+            for cat in spec.categories
+        }
+
+    # -- URL handling ------------------------------------------------------
+
+    def url_for(self, page: PageKey) -> str:
+        """Render the page's URL in this site's style."""
+        style = self.spec.url_style
+        if style is UrlStyle.PATH_QUERY:
+            return f"{self.spec.name}/{page.category}?id={page.product_id}"
+        if style is UrlStyle.QUERY_ONLY:
+            return f"{self.spec.name}/?dept={page.category}&id={page.product_id}"
+        return f"{self.spec.name}/{page.category}/{page.product_id}"
+
+    def parse_url(self, url: str) -> PageKey:
+        """Inverse of :meth:`url_for`; raises ``ValueError`` on foreign URLs."""
+        server, remainder = split_server(url)
+        if server != self.spec.name:
+            raise ValueError(f"URL {url!r} does not belong to site {self.spec.name}")
+        style = self.spec.url_style
+        path, _, query = remainder.partition("?")
+        path = path.strip("/")
+        if style is UrlStyle.PATH_QUERY:
+            category = path
+            product = _query_param(query, "id")
+        elif style is UrlStyle.QUERY_ONLY:
+            category = _query_param(query, "dept")
+            product = _query_param(query, "id")
+        else:
+            category, _, product = path.partition("/")
+        if category not in self.spec.categories:
+            raise ValueError(f"unknown category {category!r} in {url!r}")
+        page = PageKey(category, int(product))
+        if not 0 <= page.product_id < self.spec.products_per_category:
+            raise ValueError(f"product id out of range in {url!r}")
+        return page
+
+    def hint_rule_pattern(self) -> str:
+        """Admin regex (Section III) partitioning this site's URLs.
+
+        The pattern is applied to the URL after the server-part and names
+        ``hint`` and ``rest`` groups, mirroring Table I.
+        """
+        style = self.spec.url_style
+        if style is UrlStyle.PATH_QUERY:
+            return r"(?P<hint>[^/?]+)\?(?P<rest>.*)"
+        if style is UrlStyle.QUERY_ONLY:
+            return r"\?(?P<hint>dept=[^&]+)&(?P<rest>.*)"
+        return r"(?P<hint>[^/?]+)/(?P<rest>.*)"
+
+    def all_pages(self) -> list[PageKey]:
+        """Every document the site can serve, in deterministic order."""
+        return [
+            PageKey(cat, pid)
+            for cat in self.spec.categories
+            for pid in range(self.spec.products_per_category)
+        ]
+
+    # -- Rendering ---------------------------------------------------------
+
+    def epoch_at(self, now: float) -> int:
+        """Logical epoch driving the volatile fragments at time ``now``."""
+        return int(now // self.spec.epoch_seconds)
+
+    def page_has_private_box(self, page: PageKey) -> bool:
+        """Whether this page type displays the account box when logged in.
+
+        Deterministic per page so the same URL always behaves the same —
+        checkout-like pages show the card, plain catalog pages don't.
+        """
+        rng = rng_for("private-page", self.spec.name, page.category, page.product_id)
+        return rng.random() < self.spec.private_page_fraction
+
+    def render(
+        self,
+        page: PageKey,
+        now: float,
+        user_id: str | None = None,
+        profile: PrivateProfile | None = None,
+        use_shared_card: bool = False,
+    ) -> bytes:
+        """Render the current snapshot of ``page`` at time ``now``.
+
+        ``user_id`` enables personalization; ``profile`` additionally embeds
+        the user's private data on pages that display the account box.
+        """
+        spec = self.spec
+        epoch = self.epoch_at(now)
+        revision = (
+            0
+            if math.isinf(spec.detail_revision_seconds)
+            else int(now // spec.detail_revision_seconds)
+        )
+        blocks = [
+            self._header,
+            self._skeletons[page.category],
+            templates.product_detail(
+                spec.name, page.category, page.product_id, spec.detail_bytes,
+                revision=revision,
+            ),
+            templates.dynamic_fragments(
+                spec.name, page.category, page.product_id, epoch, spec.dynamic_bytes
+            ),
+        ]
+        if user_id is not None and spec.personalized:
+            blocks.append(
+                templates.personal_block(spec.name, user_id, epoch, spec.personal_bytes)
+            )
+            if profile is not None and self.page_has_private_box(page):
+                blocks.append(templates.private_block(profile, use_shared_card))
+        blocks.append(self._footer)
+        return templates.assemble(blocks)
+
+
+def _query_param(query: str, key: str) -> str:
+    """Extract one ``key=value`` pair from a query string."""
+    for pair in query.split("&"):
+        name, _, value = pair.partition("=")
+        if name == key and value:
+            return value
+    raise ValueError(f"missing query parameter {key!r} in {query!r}")

@@ -1,0 +1,175 @@
+"""HTML block templates for synthetic dynamic documents.
+
+A rendered page is a concatenation of blocks with very different sharing
+and volatility characteristics — this structure is what gives the paper's
+scheme something to exploit:
+
+===================  =========================  ============================
+Block                Shared across              Changes over time
+===================  =========================  ============================
+site header / nav    every page of the site     never
+category skeleton    every product in category  never
+product detail       every render of a product  never
+dynamic fragments    nothing                    per *epoch* (stock, ads, …)
+personal block       nothing (per user)         slowly
+private block        nothing (per user)         never (card on file)
+footer               every page of the site     never
+===================  =========================  ============================
+
+*Temporal* correlation (same URL, later snapshot) comes from everything but
+the dynamic fragments being stable.  *Spatial* correlation (different
+products, same category) comes from the header, skeleton, and footer.  The
+class-based scheme's bet — one base-file per category-like class is almost
+as good as one per document — is exactly the bet that the skeleton
+dominates the detail, which the sizes in :class:`~repro.origin.site.SiteSpec`
+make tunable.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.origin.private import PrivateProfile
+from repro.origin.text import paragraph, rng_for, word
+
+
+def site_header(site_name: str, approx_bytes: int) -> str:
+    """Site-wide banner and navigation, identical on every page."""
+    rng = rng_for("header", site_name)
+    nav_items = "".join(
+        f'<li><a href="/{word(rng)}">{word(rng).title()}</a></li>' for _ in range(12)
+    )
+    blurb = paragraph(rng, max(approx_bytes - 400, 80))
+    return (
+        f"<header><h1>{site_name}</h1>"
+        f"<nav><ul>{nav_items}</ul></nav>"
+        f"<div class='banner'>{blurb}</div></header>"
+    )
+
+
+def category_skeleton(site_name: str, category: str, approx_bytes: int) -> str:
+    """Category-level layout shared by every product page in the category."""
+    rng = rng_for("skeleton", site_name, category)
+    sidebar = "".join(
+        f'<li><a href="/{category}/{word(rng)}">{word(rng).title()} '
+        f"{word(rng)}</a></li>"
+        for _ in range(20)
+    )
+    blurb = paragraph(rng, max(approx_bytes - 1200, 80))
+    promos = "".join(
+        f"<div class='promo'>{paragraph(rng, 120)}</div>" for _ in range(4)
+    )
+    return (
+        f"<section class='category' data-cat='{category}'>"
+        f"<h2>{category.title()}</h2>"
+        f"<aside><ul>{sidebar}</ul></aside>"
+        f"<div class='blurb'>{blurb}</div>{promos}</section>"
+    )
+
+
+@functools.lru_cache(maxsize=4096)
+def product_detail(
+    site_name: str, category: str, product_id: int, approx_bytes: int,
+    revision: int = 0,
+) -> str:
+    """Product-specific content (name, specs, description).
+
+    Stable within a *revision*; sites that edit their catalog over time
+    (``SiteSpec.detail_revision_seconds``) bump the revision, replacing the
+    block wholesale — the slow structural drift that defeats fixed
+    template-splitting schemes but only costs delta-encoding a rebase.
+    """
+    rng = rng_for("product", site_name, category, product_id, revision)
+    name = f"{word(rng).title()} {word(rng).title()} {product_id}"
+    specs = "".join(
+        f"<tr><td>{word(rng)}</td><td>{word(rng)} {rng.randint(1, 64)}</td></tr>"
+        for _ in range(10)
+    )
+    description = paragraph(rng, max(approx_bytes - 800, 80))
+    return (
+        f"<article class='product' data-id='{product_id}'>"
+        f"<h3>{name}</h3><table>{specs}</table>"
+        f"<p>{description}</p></article>"
+    )
+
+
+@functools.lru_cache(maxsize=8192)
+def dynamic_fragments(
+    site_name: str,
+    category: str,
+    product_id: int,
+    epoch: int,
+    approx_bytes: int,
+    fragments: int = 4,
+) -> str:
+    """Per-epoch volatile content: stock levels, prices, rotating ads.
+
+    Fragment *i* re-randomizes every ``i + 1`` epochs, so consecutive
+    snapshots of a page differ gradually rather than all-at-once — matching
+    how real dynamic pages churn and giving deltas a realistic size
+    distribution instead of a step function.
+    """
+    per_fragment = max(approx_bytes // fragments, 40)
+    parts: list[str] = []
+    for i in range(fragments):
+        fragment_epoch = epoch // (i + 1)
+        rng = rng_for("dyn", site_name, category, product_id, i, fragment_epoch)
+        parts.append(
+            f"<div class='dyn' data-slot='{i}'>"
+            f"<span class='stock'>{rng.randint(0, 500)} in stock</span>"
+            f"<span class='price'>${rng.randint(50, 3000)}.{rng.randint(0, 99):02d}</span>"
+            f"<p>{paragraph(rng, per_fragment - 80)}</p></div>"
+        )
+    return "".join(parts)
+
+
+@functools.lru_cache(maxsize=8192)
+def personal_block(
+    site_name: str, user_id: str, epoch: int, approx_bytes: int
+) -> str:
+    """Per-user personalization: greeting and recommendations.
+
+    Recommendations reshuffle slowly (every 8 epochs) — personalization is
+    stickier than stock tickers but not static.
+    """
+    rng = rng_for("personal", site_name, user_id, epoch // 8)
+    name_rng = rng_for("username", user_id)
+    display_name = f"{word(name_rng).title()} {word(name_rng).title()}"
+    recs = "".join(
+        f"<li>{word(rng).title()} {word(rng)} — ${rng.randint(20, 900)}</li>"
+        for _ in range(6)
+    )
+    filler = paragraph(rng, max(approx_bytes - 400, 40))
+    return (
+        f"<div class='personal' data-uid='{user_id}'>"
+        f"<p>Welcome back, {display_name}!</p>"
+        f"<ul class='recs'>{recs}</ul><p>{filler}</p></div>"
+    )
+
+
+def private_block(profile: PrivateProfile, use_shared_card: bool) -> str:
+    """Account box containing the user's card on file — the data that must
+    never survive into a shared base-file (paper Section V)."""
+    card = (
+        profile.shared_card
+        if use_shared_card and profile.shared_card
+        else profile.card
+    )
+    return (
+        f"<div class='account'><p>Account: {profile.user_id}</p>"
+        f"<p>Card on file: {card}</p>"
+        f"<p>One-click checkout enabled.</p></div>"
+    )
+
+
+def footer(site_name: str) -> str:
+    """Site-wide footer, identical on every page."""
+    rng = rng_for("footer", site_name)
+    links = " | ".join(f"<a href='/{word(rng)}'>{word(rng)}</a>" for _ in range(6))
+    return f"<footer>{links}<p>© {site_name}</p></footer>"
+
+
+def assemble(blocks: list[str]) -> bytes:
+    """Wrap blocks into a complete HTML document."""
+    body = "\n".join(blocks)
+    return f"<!DOCTYPE html>\n<html><body>\n{body}\n</body></html>".encode()

@@ -1,0 +1,68 @@
+"""Deterministic filler-text generation for synthetic documents.
+
+Every piece of content in a synthetic site is derived from a seeded RNG so
+that traces are reproducible bit-for-bit, and so that two renders of the
+same (site, category, product, epoch, user) tuple are identical — the
+temporal-correlation property that delta-encoding exploits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+# A compact vocabulary; realistic enough that DEFLATE behaves like it does
+# on English/HTML, small enough to keep generation fast.
+_WORDS = (
+    "the quick premium digital portable wireless compact advanced standard "
+    "professional lightweight durable ergonomic powerful efficient sleek "
+    "modern classic reliable performance battery display keyboard screen "
+    "memory storage processor graphics design warranty shipping customer "
+    "review rating feature specification model series edition bundle offer "
+    "discount price quality service support technology hardware software "
+    "system network security media audio video camera sensor adapter cable "
+    "charger dock stand cover case accessory upgrade option package deal"
+).split()
+
+_SENTENCE_LENGTHS = (6, 8, 9, 11, 13)
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 64-bit seed derived from arbitrary identifying parts.
+
+    Uses blake2b rather than ``hash()`` so results are stable across
+    processes (``PYTHONHASHSEED`` does not leak into traces).
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rng_for(*parts: object) -> random.Random:
+    """A ``random.Random`` seeded from :func:`stable_seed`."""
+    return random.Random(stable_seed(*parts))
+
+
+def sentence(rng: random.Random) -> str:
+    """One sentence of filler prose."""
+    count = rng.choice(_SENTENCE_LENGTHS)
+    words = [rng.choice(_WORDS) for _ in range(count)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def paragraph(rng: random.Random, approx_bytes: int) -> str:
+    """Roughly ``approx_bytes`` of prose (never empty)."""
+    parts: list[str] = []
+    size = 0
+    while size < approx_bytes:
+        text = sentence(rng)
+        parts.append(text)
+        size += len(text) + 1
+    return " ".join(parts)
+
+
+def word(rng: random.Random) -> str:
+    """A single filler word."""
+    return rng.choice(_WORDS)

@@ -1,0 +1,8 @@
+"""Proxy-cache substrate (delta-unaware, caches base-files)."""
+
+from __future__ import annotations
+
+from repro.proxy.cache import CacheStats, LRUCache
+from repro.proxy.proxy import ProxyCache, ProxyStats
+
+__all__ = ["CacheStats", "LRUCache", "ProxyCache", "ProxyStats"]

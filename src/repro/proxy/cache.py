@@ -1,0 +1,93 @@
+"""LRU object cache honouring response cachability.
+
+The substrate for the proxy-cache in Fig. 2.  Only responses explicitly
+marked cachable are stored — which, in this system, means base-files: the
+dynamic documents themselves remain uncachable, and *that* is why plain
+proxy caching tops out around 40 % hit rates (paper Section I) while the
+delta-server recovers the redundancy anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.http.messages import Response
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    hit_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Byte-budgeted LRU cache of responses keyed by URL."""
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be > 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, Response] = OrderedDict()
+        self._size = 0
+        self.stats = CacheStats()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def get(self, url: str) -> Response | None:
+        """Look up ``url``, refreshing recency on hit."""
+        entry = self._entries.get(url)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(url)
+        self.stats.hits += 1
+        self.stats.hit_bytes += entry.content_length
+        return entry
+
+    def put(self, url: str, response: Response) -> bool:
+        """Store a cachable response; returns ``False`` if not cachable."""
+        if not response.cachable or response.status != 200:
+            return False
+        if response.content_length > self.capacity_bytes:
+            return False
+        if url in self._entries:
+            self._size -= self._entries.pop(url).content_length
+        self._entries[url] = response
+        self._size += response.content_length
+        self.stats.insertions += 1
+        while self._size > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._size -= evicted.content_length
+            self.stats.evictions += 1
+        return True
+
+    def invalidate(self, url: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        entry = self._entries.pop(url, None)
+        if entry is None:
+            return False
+        self._size -= entry.content_length
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._size = 0

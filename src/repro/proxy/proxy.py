@@ -1,0 +1,54 @@
+"""Forward proxy-cache sitting between clients and the delta-server.
+
+Completely delta-unaware, as the architecture requires: it caches whatever
+is marked cachable (base-files) and forwards everything else.  Its value in
+the class-based scheme is that *one* upstream base-file transfer serves
+every client behind the proxy — "many different users will download the
+same base-files from a proxy-cache" (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.http.messages import Request, Response
+from repro.proxy.cache import LRUCache
+
+UpstreamFn = Callable[[Request, float], Response]
+
+
+@dataclass(slots=True)
+class ProxyStats:
+    """Traffic accounting on both sides of the proxy."""
+
+    requests: int = 0
+    upstream_requests: int = 0
+    upstream_bytes: int = 0
+    downstream_bytes: int = 0
+
+
+class ProxyCache:
+    """A caching forward proxy."""
+
+    def __init__(
+        self, upstream: UpstreamFn, capacity_bytes: int = 64 * 1024 * 1024
+    ) -> None:
+        self._upstream = upstream
+        self.cache = LRUCache(capacity_bytes)
+        self.stats = ProxyStats()
+
+    def handle(self, request: Request, now: float) -> Response:
+        """Serve from cache when possible, else forward upstream."""
+        self.stats.requests += 1
+        if request.method == "GET":
+            cached = self.cache.get(request.url)
+            if cached is not None:
+                self.stats.downstream_bytes += cached.content_length
+                return cached
+        response = self._upstream(request, now)
+        self.stats.upstream_requests += 1
+        self.stats.upstream_bytes += response.content_length
+        self.stats.downstream_bytes += response.content_length
+        self.cache.put(request.url, response)
+        return response

@@ -1,0 +1,30 @@
+"""End-to-end architecture simulation (paper Fig. 2 and Section VI-C)."""
+
+from __future__ import annotations
+
+from repro.simulation.capacity import (
+    CapacityEstimate,
+    CostModel,
+    DeltaCostMeasurement,
+    compare_plain_vs_delta,
+    estimate_capacity,
+    measure_delta_cost,
+)
+from repro.simulation.des import DESResult, ServerSpec, simulate_server, sweep_offered_load
+from repro.simulation.engine import Simulation, SimulationConfig, SimulationReport
+
+__all__ = [
+    "CapacityEstimate",
+    "CostModel",
+    "DESResult",
+    "DeltaCostMeasurement",
+    "ServerSpec",
+    "simulate_server",
+    "sweep_offered_load",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "compare_plain_vs_delta",
+    "estimate_capacity",
+    "measure_delta_cost",
+]

@@ -1,0 +1,189 @@
+"""Discrete-event simulation of a web-server under load (Section VI-C).
+
+The analytic model in :mod:`repro.simulation.capacity` answers "what is
+the capacity?"; this DES answers "what actually happens at a given offered
+load?" — queueing, connection-slot exhaustion, rejected connections, and
+latency percentiles, which is how the paper's testbed numbers (175-180
+req/s plain vs ~130 req/s with the delta-server, 255 vs 500+ concurrent
+connections) were observed.
+
+Model: requests arrive as a Poisson process.  A request needs
+
+1. a **connection slot** (rejected outright if all ``max_connections`` are
+   busy — Apache 1.3's hard limit);
+2. **CPU service** on a single processor, FIFO (rendering, and delta
+   generation when delta-encoding);
+3. a **transfer hold**: the connection stays occupied while the response
+   trickles to the client over its access link; no CPU is used.
+
+Events are processed on a heap; everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.link import LinkSpec
+from repro.network.tcp import transfer_time
+
+
+@dataclass(frozen=True, slots=True)
+class ServerSpec:
+    """Resources of the simulated server."""
+
+    cpu_ms_per_request: float
+    max_connections: int = 255
+
+    def __post_init__(self) -> None:
+        if self.cpu_ms_per_request <= 0:
+            raise ValueError("cpu_ms_per_request must be > 0")
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+
+
+@dataclass(slots=True)
+class DESResult:
+    """Aggregates from one simulated run."""
+
+    offered_rps: float
+    duration: float
+    arrived: int = 0
+    rejected: int = 0
+    completed: int = 0
+    cpu_busy: float = 0.0
+    #: time-weighted connection occupancy integral
+    _conn_integral: float = 0.0
+    peak_concurrency: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.completed / self.duration if self.duration else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.arrived if self.arrived else 0.0
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.cpu_busy / self.duration if self.duration else 0.0
+
+    @property
+    def mean_concurrency(self) -> float:
+        return self._conn_integral / self.duration if self.duration else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
+        return ordered[rank]
+
+
+_ARRIVAL = 0
+_CPU_DONE = 1
+_TRANSFER_DONE = 2
+
+
+def simulate_server(
+    offered_rps: float,
+    duration: float,
+    server: ServerSpec,
+    response_bytes: Callable[[random.Random], int],
+    client_link: LinkSpec,
+    seed: int = 42,
+) -> DESResult:
+    """Run the DES for ``duration`` simulated seconds at ``offered_rps``.
+
+    ``response_bytes`` draws the response size per request (pass
+    ``lambda rng: 3000`` for a constant).
+    """
+    if offered_rps <= 0 or duration <= 0:
+        raise ValueError("offered_rps and duration must be > 0")
+    rng = random.Random(seed)
+    result = DESResult(offered_rps=offered_rps, duration=duration)
+
+    events: list[tuple[float, int, int, float]] = []  # (time, kind, id, aux)
+    seq = 0
+
+    def push(time: float, kind: int, ident: int, aux: float = 0.0) -> None:
+        heapq.heappush(events, (time, kind, ident, aux))
+
+    # request state
+    arrival_time: dict[int, float] = {}
+
+    connections = 0
+    cpu_queue: list[int] = []
+    cpu_last_start = 0.0
+    cpu_idle = True
+    last_event_time = 0.0
+
+    push(rng.expovariate(offered_rps), _ARRIVAL, 0)
+
+    def start_cpu(now: float, ident: int) -> None:
+        nonlocal cpu_idle, cpu_last_start
+        cpu_idle = False
+        cpu_last_start = now
+        push(now + server.cpu_ms_per_request / 1000.0, _CPU_DONE, ident)
+
+    while events:
+        now, kind, ident, aux = heapq.heappop(events)
+        if now > duration and kind == _ARRIVAL:
+            break
+        # integrate connection occupancy
+        result._conn_integral += connections * (now - last_event_time)
+        last_event_time = now
+
+        if kind == _ARRIVAL:
+            seq += 1
+            result.arrived += 1
+            push(now + rng.expovariate(offered_rps), _ARRIVAL, seq)
+            if connections >= server.max_connections:
+                result.rejected += 1
+            else:
+                connections += 1
+                result.peak_concurrency = max(result.peak_concurrency, connections)
+                arrival_time[ident] = now
+                if cpu_idle:
+                    start_cpu(now, ident)
+                else:
+                    cpu_queue.append(ident)
+        elif kind == _CPU_DONE:
+            result.cpu_busy += now - cpu_last_start
+            if cpu_queue:
+                start_cpu(now, cpu_queue.pop(0))
+            else:
+                # mark idle; the nonlocal is updated inside start_cpu otherwise
+                cpu_idle = True
+            size = response_bytes(rng)
+            hold = transfer_time(size, client_link, rng=rng).total
+            push(now + hold, _TRANSFER_DONE, ident)
+        else:  # _TRANSFER_DONE
+            connections -= 1
+            result.completed += 1
+            started = arrival_time.pop(ident, now)
+            result.latencies.append(now - started)
+
+    return result
+
+
+def sweep_offered_load(
+    loads_rps: list[float],
+    duration: float,
+    server: ServerSpec,
+    response_bytes: Callable[[random.Random], int],
+    client_link: LinkSpec,
+    seed: int = 42,
+) -> list[DESResult]:
+    """Run the DES across a list of offered loads (the capacity 'knee')."""
+    return [
+        simulate_server(load, duration, server, response_bytes, client_link, seed)
+        for load in loads_rps
+    ]

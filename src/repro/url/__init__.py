@@ -1,0 +1,14 @@
+"""URL partitioning substrate (paper Section III, Table I)."""
+
+from __future__ import annotations
+
+from repro.url.parts import URLParts, heuristic_partition, split_server
+from repro.url.rules import HintRule, RuleBook
+
+__all__ = [
+    "HintRule",
+    "RuleBook",
+    "URLParts",
+    "heuristic_partition",
+    "split_server",
+]

@@ -1,0 +1,83 @@
+"""URL partitioning into server-part, hint-part, and rest.
+
+Section III of the paper partitions every URL in three parts:
+
+* **server-part** — "the string from the beginning of the URL till the
+  first slash, as usual";
+* **hint-part** — the portion that hints at content similarity ("a
+  similarity between two URLs is an indication of a similarity between
+  their corresponding contents"); which portion this is depends on how the
+  web-site organizes its content;
+* **rest** — everything else.
+
+Table I of the paper gives three examples, all of which the default
+heuristic below reproduces (see ``tests/url/test_parts.py``)::
+
+    www.foo.com/laptops?id=100        -> hint "laptops",      rest "id=100"
+    www.foo.com/?dept=laptops&id=100  -> hint "dept=laptops", rest "id=100"
+    www.foo.com/laptops/100           -> hint "laptops",      rest "100"
+
+Site administrators can override the heuristic with regular-expression
+rules (:mod:`repro.url.rules`), exactly as the paper prescribes: "the
+administrator describes to the grouping mechanism how to partition URLs
+into parts using regular expressions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class URLParts:
+    """A URL split into the three parts the grouping mechanism consumes."""
+
+    server: str
+    hint: str
+    rest: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """(server, hint) pair — the grouping mechanism's search key."""
+        return (self.server, self.hint)
+
+
+def split_server(url: str) -> tuple[str, str]:
+    """Split off the server-part; returns ``(server, remainder)``.
+
+    Accepts bare (``www.foo.com/x``) and scheme-prefixed
+    (``http://www.foo.com/x``) URLs; the scheme is not part of the
+    server-part identity.
+    """
+    for scheme in ("https://", "http://"):
+        if url.startswith(scheme):
+            url = url[len(scheme) :]
+            break
+    server, slash, remainder = url.partition("/")
+    if not server:
+        raise ValueError(f"URL has no server-part: {url!r}")
+    return server, remainder if slash else ""
+
+
+def heuristic_partition(url: str) -> URLParts:
+    """Default partitioning used when a site has no admin-provided rules.
+
+    * If the path has segments, the first segment is the hint and the
+      remaining segments plus the query string are the rest.
+    * If the path is empty but there is a query string, the first
+      ``key=value`` pair is the hint and the remaining pairs are the rest
+      (the ``?dept=laptops&id=100`` style of Table I).
+    """
+    server, remainder = split_server(url)
+    path, question, query = remainder.partition("?")
+    segments = [s for s in path.split("/") if s]
+    if segments:
+        hint = segments[0]
+        rest_bits = ["/".join(segments[1:])] if len(segments) > 1 else []
+        if query:
+            rest_bits.append(query)
+        return URLParts(server, hint, "&".join(bit for bit in rest_bits if bit))
+    if query:
+        first, amp, others = query.partition("&")
+        return URLParts(server, first, others)
+    return URLParts(server, "", "")

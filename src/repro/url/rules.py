@@ -1,0 +1,76 @@
+"""Admin-provided regular-expression rules for URL partitioning.
+
+"Depending on the web-site, the administrator describes to the grouping
+mechanism how to partition URLs into parts using regular expressions."
+(Section III.)
+
+A :class:`HintRule` is a compiled regex with named groups ``hint`` and
+(optionally) ``rest``; a :class:`RuleBook` maps server-parts to ordered
+rule lists and falls back to the built-in heuristic when no rule matches —
+so unconfigured sites still group, just with weaker hints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.url.parts import URLParts, heuristic_partition, split_server
+
+
+@dataclass(frozen=True)
+class HintRule:
+    """One regex rule applied to the part of the URL after the server-part.
+
+    The pattern must define a named group ``hint``; a named group ``rest``
+    is optional (defaults to the unmatched tail, else empty).
+    """
+
+    pattern: str
+    _compiled: re.Pattern[str] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        compiled = re.compile(self.pattern)
+        if "hint" not in compiled.groupindex:
+            raise ValueError(f"rule pattern must name a 'hint' group: {self.pattern!r}")
+        object.__setattr__(self, "_compiled", compiled)
+
+    def apply(self, server: str, remainder: str) -> URLParts | None:
+        """Partition ``remainder`` (URL after the server-part), or ``None``."""
+        match = self._compiled.match(remainder)
+        if match is None:
+            return None
+        hint = match.group("hint") or ""
+        if "rest" in self._compiled.groupindex:
+            rest = match.group("rest") or ""
+        else:
+            rest = remainder[match.end() :]
+        return URLParts(server, hint, rest)
+
+
+class RuleBook:
+    """Per-site partitioning rules with heuristic fallback."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, list[HintRule]] = {}
+
+    def add_rule(self, server: str, pattern: str) -> None:
+        """Register a rule for ``server``; rules are tried in insertion order."""
+        self._rules.setdefault(server, []).append(HintRule(pattern))
+
+    def rules_for(self, server: str) -> list[HintRule]:
+        """Rules registered for ``server`` (possibly empty)."""
+        return list(self._rules.get(server, []))
+
+    def partition(self, url: str) -> URLParts:
+        """Partition ``url`` using the first matching admin rule.
+
+        Falls back to :func:`~repro.url.parts.heuristic_partition` when the
+        site has no rules or none match.
+        """
+        server, remainder = split_server(url)
+        for rule in self._rules.get(server, []):
+            parts = rule.apply(server, remainder)
+            if parts is not None:
+                return parts
+        return heuristic_partition(url)

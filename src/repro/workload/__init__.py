@@ -1,0 +1,20 @@
+"""Workload substrate: Zipf sampling, traces, and synthetic generation."""
+
+from __future__ import annotations
+
+from repro.workload.generator import GeneratedWorkload, WorkloadSpec, generate_workload
+from repro.workload.stats import TraceStats, analyze_trace, fit_zipf_alpha
+from repro.workload.trace import Trace, TraceRecord
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "GeneratedWorkload",
+    "Trace",
+    "TraceRecord",
+    "TraceStats",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "analyze_trace",
+    "fit_zipf_alpha",
+    "generate_workload",
+]

@@ -1,0 +1,97 @@
+"""Trace statistics: the numbers you compute before replaying a log.
+
+The paper's evaluation starts from access-log shapes (request counts,
+document popularity, users); this module extracts them from a
+:class:`~repro.workload.trace.Trace`, including a Zipf-exponent estimate
+(web popularity is Zipf-like — Breslau et al., the paper's [3]), so
+synthetic and real traces can be compared on the same footing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Shape summary of one trace."""
+
+    name: str
+    requests: int
+    distinct_urls: int
+    distinct_users: int
+    duration: float
+    #: fraction of requests going to the most popular URL
+    top_url_share: float
+    #: fraction of requests going to the top 10 % of URLs
+    head_share: float
+    #: least-squares Zipf exponent fit over the rank-frequency curve
+    zipf_alpha: float
+    #: mean requests per (user, url) pair — the revisit depth that decides
+    #: how much warm-up cost the delta scheme amortizes
+    requests_per_pair: float
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.duration if self.duration else 0.0
+
+
+def fit_zipf_alpha(frequencies: list[int]) -> float:
+    """Least-squares slope of log(frequency) vs log(rank).
+
+    ``frequencies`` must be sorted descending.  Returns 0.0 when there are
+    fewer than two distinct ranks to fit.
+    """
+    points = [
+        (math.log(rank + 1), math.log(freq))
+        for rank, freq in enumerate(frequencies)
+        if freq > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        return 0.0
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    return max(-slope, 0.0)
+
+
+def analyze_trace(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    if not len(trace):
+        return TraceStats(
+            name=trace.name,
+            requests=0,
+            distinct_urls=0,
+            distinct_users=0,
+            duration=0.0,
+            top_url_share=0.0,
+            head_share=0.0,
+            zipf_alpha=0.0,
+            requests_per_pair=0.0,
+        )
+    url_counts = Counter(record.url for record in trace)
+    frequencies = sorted(url_counts.values(), reverse=True)
+    total = len(trace)
+    head_size = max(len(frequencies) // 10, 1)
+    pairs = len({(record.user, record.url) for record in trace})
+    return TraceStats(
+        name=trace.name,
+        requests=total,
+        distinct_urls=len(url_counts),
+        distinct_users=len(trace.users),
+        duration=trace.duration,
+        top_url_share=frequencies[0] / total,
+        head_share=sum(frequencies[:head_size]) / total,
+        zipf_alpha=fit_zipf_alpha(frequencies),
+        requests_per_pair=total / pairs if pairs else 0.0,
+    )

@@ -1,0 +1,92 @@
+"""Access-log trace model and on-disk format.
+
+The paper's evaluation replays "access-logs of web-sites", which "represent
+HTTP requests after any proxy-caches, and thus correspond to traditionally
+uncachable traffic".  A trace here is a time-ordered list of
+:class:`TraceRecord` — who requested which URL when — serialized to a
+simple tab-separated log so traces can be saved, inspected, and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One logged request."""
+
+    timestamp: float
+    user: str
+    url: str
+
+    def to_line(self) -> str:
+        return f"{self.timestamp:.3f}\t{self.user}\t{self.url}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 3:
+            raise ValueError(f"malformed trace line: {line!r}")
+        return cls(timestamp=float(parts[0]), user=parts[1], url=parts[2])
+
+
+@dataclass(slots=True)
+class Trace:
+    """A named, time-ordered request log."""
+
+    name: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    @property
+    def users(self) -> set[str]:
+        return {r.user for r in self.records}
+
+    @property
+    def urls(self) -> set[str]:
+        return {r.url for r in self.records}
+
+    def sorted(self) -> "Trace":
+        """Copy with records in timestamp order (stable)."""
+        return Trace(self.name, sorted(self.records, key=lambda r: r.timestamp))
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        self.records.extend(records)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as a tab-separated log with a header comment."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(f"# trace {self.name} records={len(self.records)}\n")
+            for record in self.records:
+                fh.write(record.to_line() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        records: list[TraceRecord] = []
+        name = path.stem
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("#"):
+                    if line.startswith("# trace "):
+                        name = line.split()[2]
+                    continue
+                if line.strip():
+                    records.append(TraceRecord.from_line(line))
+        return cls(name=name, records=records)

@@ -1,0 +1,47 @@
+"""Zipf-like popularity sampling.
+
+Web request popularity is Zipf-like (Breslau et al., the paper's [3]):
+the i-th most popular document is requested with probability proportional
+to ``1 / i**alpha``, with alpha typically 0.6–0.9 for proxy traces.  The
+sampler is used by the trace generator to pick which page each synthetic
+request targets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+
+class ZipfSampler:
+    """Draws ranks 0..n-1 with P(rank i) ∝ 1/(i+1)**alpha."""
+
+    def __init__(self, n: int, alpha: float = 0.8, rng: random.Random | None = None):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng or random.Random()
+        weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+        total = sum(weights)
+        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        # Guard against float drift so random() == 0.999999... always lands.
+        self._cdf[-1] = 1.0
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of drawing ``rank``."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range [0, {self.n})")
+        low = self._cdf[rank - 1] if rank else 0.0
+        return self._cdf[rank] - low
+
+    def sample(self) -> int:
+        """One rank draw."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, count: int) -> list[int]:
+        """``count`` independent rank draws."""
+        return [self.sample() for _ in range(count)]

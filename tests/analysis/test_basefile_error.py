@@ -1,0 +1,67 @@
+"""Tests for the Section IV error analysis."""
+
+import pytest
+
+from repro.analysis.basefile_error import (
+    expected_candidates,
+    normalizing_constant,
+    p_error_bound,
+    per_eviction_error_bound,
+    simulate_best_kept,
+)
+
+
+class TestClosedForms:
+    def test_expected_candidates(self):
+        assert expected_candidates(100_000, 0.01) == pytest.approx(1000.0)
+
+    def test_paper_example_bound(self):
+        """R=10^5, p=10^-2, K=10 -> N=1000, P_error <= 8e-11 (paper)."""
+        bound = p_error_bound(1000, 10)
+        assert bound <= 8e-11
+        assert bound > 1e-12  # same order as the paper's number
+
+    def test_bound_decreases_in_k(self):
+        bounds = [p_error_bound(1000, k) for k in (3, 5, 8, 10)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_bound_zero_when_all_stored(self):
+        assert p_error_bound(5, 10) == 0.0
+
+    def test_normalizing_constant(self):
+        # c * sum_{i=1}^{N-1} 1/i = 1
+        c = normalizing_constant(1000)
+        harmonic = sum(1.0 / i for i in range(1, 1000))
+        assert c * harmonic == pytest.approx(1.0)
+
+    def test_normalizing_constant_close_to_inverse_log(self):
+        import math
+
+        c = normalizing_constant(1000)
+        assert c == pytest.approx(1 / math.log(1000), rel=0.1)
+
+    def test_per_eviction_bound_small(self):
+        assert per_eviction_error_bound(1000, 10) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p_error_bound(100, 1)
+        with pytest.raises(ValueError):
+            normalizing_constant(1)
+
+
+class TestMonteCarlo:
+    def test_selection_quality_near_optimal(self):
+        """The randomized scheme's pick should be near the offline medoid."""
+        result = simulate_best_kept(candidates=80, capacity=8, trials=60, seed=3)
+        assert result.mean_quality_ratio < 1.3
+        assert 0 <= result.best_kept_fraction <= 1
+
+    def test_larger_capacity_improves_quality(self):
+        small = simulate_best_kept(candidates=60, capacity=3, trials=80, seed=5)
+        large = simulate_best_kept(candidates=60, capacity=12, trials=80, seed=5)
+        assert large.mean_quality_ratio <= small.mean_quality_ratio + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_best_kept(candidates=5, capacity=8)

@@ -1,0 +1,56 @@
+"""Tests for the Section VI-A analytic latency model."""
+
+import pytest
+
+from repro.analysis.latency_model import (
+    bandwidth_to_latency_factor,
+    highbw_rounds_ratio,
+    modem_latency_ratio,
+)
+
+
+class TestHighBandwidth:
+    def test_paper_value(self):
+        # log2(30) ~ 4.9, the paper's "roughly equal to 5"
+        assert highbw_rounds_ratio(30 * 1024, 1024) == pytest.approx(4.9, abs=0.1)
+
+    def test_equal_sizes_ratio_one(self):
+        assert highbw_rounds_ratio(1024, 1024) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            highbw_rounds_ratio(0, 1024)
+        with pytest.raises(ValueError):
+            highbw_rounds_ratio(1024, 2048)
+
+
+class TestModem:
+    def test_paper_value_around_10(self):
+        ratio = modem_latency_ratio(30 * 1024, 1024)
+        assert 8 <= ratio <= 12
+
+    def test_fixed_overhead_reduces_ratio(self):
+        low_overhead = modem_latency_ratio(30 * 1024, 1024, fixed_overhead=0.05)
+        high_overhead = modem_latency_ratio(30 * 1024, 1024, fixed_overhead=2.0)
+        assert high_overhead < low_overhead
+        # no overhead -> pure size ratio
+        pure = modem_latency_ratio(30 * 1024, 1024, fixed_overhead=0.0)
+        assert pure == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            modem_latency_ratio(0, 1)
+        with pytest.raises(ValueError):
+            modem_latency_ratio(10, 1, bandwidth_bps=0)
+
+
+class TestRuleOfThumb:
+    def test_modem_factor(self):
+        assert 8 <= bandwidth_to_latency_factor(30, modem=True) <= 12
+
+    def test_highbw_factor(self):
+        assert 4 <= bandwidth_to_latency_factor(30, modem=False) <= 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_to_latency_factor(0.5)

@@ -1,0 +1,82 @@
+"""Tests for the Section V privacy analysis."""
+
+import pytest
+
+from repro.analysis.privacy_error import (
+    decaying_bound,
+    exact_decaying,
+    exact_iid,
+    iid_bound,
+    monte_carlo_decaying,
+    monte_carlo_iid,
+    recommended_n,
+)
+
+
+class TestPaperExamples:
+    def test_iid_bound_paper_numbers(self):
+        """p=0.01, N=10, M=5: bound 4.7e-7, exact 2.4e-8 (paper Section V)."""
+        assert iid_bound(10, 5, 0.01) == pytest.approx(4.7e-7, rel=0.05)
+        assert exact_iid(10, 5, 0.01) == pytest.approx(2.4e-8, rel=0.05)
+
+    def test_bound_dominates_exact(self):
+        for n, m, p in ((10, 5, 0.01), (12, 4, 0.05), (8, 2, 0.1)):
+            assert iid_bound(n, m, p) >= exact_iid(n, m, p)
+
+    def test_decaying_bound_much_smaller(self):
+        assert decaying_bound(10, 5, 0.01) < iid_bound(10, 5, 0.01)
+
+
+class TestExactBinomial:
+    def test_m_equals_one(self):
+        # P(X >= 1) = 1 - (1-p)^N
+        assert exact_iid(10, 1, 0.1) == pytest.approx(1 - 0.9**10)
+
+    def test_m_equals_n(self):
+        assert exact_iid(5, 5, 0.5) == pytest.approx(0.5**5)
+
+    def test_p_zero(self):
+        assert exact_iid(10, 3, 0.0) == 0.0
+
+    def test_p_one(self):
+        assert exact_iid(10, 3, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_m(self):
+        values = [exact_iid(10, m, 0.2) for m in range(1, 11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_iid(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            exact_iid(10, 11, 0.1)
+        with pytest.raises(ValueError):
+            exact_iid(10, 5, 1.5)
+
+
+class TestMonteCarlo:
+    def test_iid_matches_exact(self):
+        mc = monte_carlo_iid(10, 2, 0.1, trials=150_000, seed=2)
+        assert mc == pytest.approx(exact_iid(10, 2, 0.1), rel=0.05)
+
+    def test_decaying_below_iid(self):
+        iid = monte_carlo_iid(10, 2, 0.2, trials=50_000, seed=3)
+        decaying = monte_carlo_decaying(10, 2, 0.2, trials=50_000, seed=3)
+        assert decaying < iid
+
+    def test_decaying_bounded_by_closed_form(self):
+        # closed-form bound must dominate the empirical decaying probability
+        mc = monte_carlo_decaying(10, 2, 0.2, trials=100_000, seed=4)
+        assert mc <= decaying_bound(10, 2, 0.2) * 1.5 + 1e-4
+
+
+class TestHelpers:
+    def test_exact_decaying_dominant_term(self):
+        value = exact_decaying(10, 2, 0.1)
+        # C(10,2) * p * p^2 = 45 * 1e-3
+        assert value == pytest.approx(45 * 1e-3)
+
+    def test_recommended_n(self):
+        assert recommended_n(4) == 8
+        with pytest.raises(ValueError):
+            recommended_n(0)

@@ -1,0 +1,96 @@
+"""Tests for the HPP template-splitting baseline."""
+
+import pytest
+
+from repro.baselines.hpp import HPPServer, split_document
+from repro.origin import SiteSpec, SyntheticSite, profile_for
+
+
+def renders_of_page(count: int = 4, page_index: int = 0) -> list[bytes]:
+    site = SyntheticSite(
+        SiteSpec(
+            name="www.hpp.example",
+            categories=("news",),
+            products_per_category=2,
+            header_bytes=2000,
+            skeleton_bytes=8000,
+            detail_bytes=4000,
+        )
+    )
+    page = site.all_pages()[page_index]
+    return [
+        site.render(page, 120.0 * i, user_id=f"u{i}", profile=profile_for(f"u{i}"))
+        for i in range(count)
+    ]
+
+
+class TestSplitDocument:
+    def test_single_render_all_template(self):
+        split = split_document([b"hello world"])
+        assert split.template == b"hello world"
+
+    def test_identical_renders_all_template(self):
+        # non-repetitive prose: identical renders diff to one big COPY
+        from repro.origin.text import paragraph, rng_for
+
+        doc = paragraph(rng_for("hpp-static"), 1500).encode()
+        split = split_document([doc, doc, doc])
+        assert split.template_bytes >= len(doc) * 0.95
+
+    def test_varying_middle_excluded(self):
+        prefix = b"<head>" + b"s" * 500 + b"</head>"
+        suffix = b"<foot>" + b"t" * 500 + b"</foot>"
+        renders = [prefix + f"<dyn>{i}-{i}-{i}</dyn>".encode() * 10 + suffix for i in range(4)]
+        split = split_document(renders)
+        template = split.template
+        assert b"s" * 100 in template
+        assert b"t" * 100 in template
+        assert b"<dyn>0-0-0</dyn>" not in template
+
+    def test_template_smaller_on_dynamic_pages(self):
+        renders = renders_of_page()
+        split = split_document(renders)
+        assert 0 < split.template_bytes < len(renders[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            split_document([])
+
+
+class TestHPPServer:
+    def _server(self, site):
+        def fetch(url, user, now):
+            page = site.parse_url(url.split("&sid=")[0] if "&sid=" in url else url)
+            return site.render(page, now, user_id=user, profile=profile_for(user))
+
+        return HPPServer(fetch, training_renders=3)
+
+    def test_savings_in_paper_band(self):
+        """Douglis et al.: transfers 2-8x smaller than original sizes."""
+        site = SyntheticSite(
+            SiteSpec(
+                name="www.hppsrv.example",
+                categories=("news",),
+                products_per_category=1,
+            )
+        )
+        server = self._server(site)
+        url = site.url_for(site.all_pages()[0])
+        for i in range(60):
+            server.handle(url, f"u{i % 6}", 60.0 * i)
+        assert 2 <= server.stats.reduction_factor <= 12
+
+    def test_training_renders_validated(self):
+        with pytest.raises(ValueError):
+            HPPServer(lambda u, s, n: b"", training_renders=1)
+
+    def test_direct_bytes_accumulate(self):
+        site = SyntheticSite(
+            SiteSpec(name="www.hpp2.example", products_per_category=1)
+        )
+        server = self._server(site)
+        url = site.url_for(site.all_pages()[0])
+        for i in range(5):
+            server.handle(url, "u1", 10.0 * i)
+        assert server.stats.requests == 5
+        assert server.stats.direct_bytes > server.stats.sent_bytes

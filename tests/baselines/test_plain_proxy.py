@@ -1,0 +1,53 @@
+"""Tests for the plain proxy-caching baseline."""
+
+from repro.baselines.plain_proxy import replay_plain_proxy
+
+
+def make_fetch(static_body=b"S" * 1000, dynamic_size=1000):
+    def fetch(url, user, now):
+        if url.startswith("static"):
+            return static_body
+        # dynamic content varies per (user, now); padded to a fixed size so
+        # byte shares track request shares
+        body = (f"dyn {url} {user} {now} ".encode() * 60)[:dynamic_size]
+        return body.ljust(dynamic_size, b"x")
+
+    return fetch
+
+
+class TestPlainProxy:
+    def test_static_urls_cached(self):
+        requests = [("static/a", "u1", 0.0)] * 5
+        stats = replay_plain_proxy(
+            requests, make_fetch(), is_static=lambda u: u.startswith("static")
+        )
+        assert stats.hits == 4
+        assert stats.upstream_bytes == 1000  # fetched once
+
+    def test_dynamic_never_cached(self):
+        requests = [("dyn/a", "u1", float(i)) for i in range(5)]
+        stats = replay_plain_proxy(
+            requests, make_fetch(), is_static=lambda u: False
+        )
+        assert stats.hits == 0
+        assert stats.upstream_bytes == stats.direct_bytes
+
+    def test_mixed_traffic_hit_rate_bounded_by_static_share(self):
+        # 40% static, 60% dynamic: the paper's "hit rates usually around 40%"
+        requests = []
+        for i in range(100):
+            if i % 5 < 2:
+                requests.append(("static/popular", "u1", float(i)))
+            else:
+                requests.append((f"dyn/{i}", "u1", float(i)))
+        stats = replay_plain_proxy(
+            requests, make_fetch(), is_static=lambda u: u.startswith("static")
+        )
+        assert stats.hit_rate <= 0.4
+        assert 0 < stats.byte_savings <= 0.4
+
+    def test_empty_trace(self):
+        stats = replay_plain_proxy([], make_fetch(), is_static=lambda u: True)
+        assert stats.requests == 0
+        assert stats.byte_savings == 0.0
+        assert stats.hit_rate == 0.0

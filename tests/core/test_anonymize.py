@@ -1,0 +1,165 @@
+"""Tests for base-file anonymization (paper Section V)."""
+
+import pytest
+
+from repro.core.anonymize import AnonymizationState, Anonymizer
+from repro.core.config import AnonymizationConfig
+from repro.origin.private import card_number_for, find_card_numbers
+
+
+def page(user: str, with_card: bool = True, shared_tail: bytes = b"") -> bytes:
+    """A toy personalized page: big shared body + per-user private box."""
+    shared = (b"<html><body>" + b"<p>shared catalog content</p>" * 60) + shared_tail
+    private = b""
+    if with_card:
+        private = (
+            b"<div class='account'>Card: "
+            + card_number_for(user).encode()
+            + b" user "
+            + user.encode()
+            + b"</div>"
+        )
+    return shared + private + b"</body></html>"
+
+
+def make(config=None, owner="owner", **kwargs) -> Anonymizer:
+    cfg = config or AnonymizationConfig(enabled=True, documents=3, min_count=1)
+    return Anonymizer(page(owner), cfg, owner_user=owner, **kwargs)
+
+
+class TestLifecycle:
+    def test_starts_collecting(self):
+        anon = make()
+        assert anon.state is AnonymizationState.COLLECTING
+        assert anon.anonymized is None
+        assert anon.users_needed == 3
+
+    def test_disabled_passes_base_through(self):
+        cfg = AnonymizationConfig(enabled=False)
+        anon = Anonymizer(page("owner"), cfg, owner_user="owner")
+        assert anon.state is AnonymizationState.DISABLED
+        assert anon.anonymized == page("owner")
+
+    def test_ready_after_n_distinct_users(self):
+        anon = make()
+        for user in ("u1", "u2", "u3"):
+            assert anon.observe(page(user), user)
+        assert anon.state is AnonymizationState.READY
+        assert anon.anonymized is not None
+
+    def test_owner_documents_not_counted(self):
+        anon = make(owner="owner")
+        assert not anon.observe(page("owner"), "owner")
+        assert anon.users_needed == 3
+
+    def test_duplicate_users_not_counted(self):
+        anon = make()
+        assert anon.observe(page("u1"), "u1")
+        assert not anon.observe(page("u1"), "u1")
+        assert anon.users_needed == 2
+
+    def test_anonymous_requests_not_counted(self):
+        anon = make()
+        assert not anon.observe(page("u1"), None)
+        assert anon.users_needed == 3
+
+    def test_observations_after_ready_ignored(self):
+        anon = make()
+        for user in ("u1", "u2", "u3"):
+            anon.observe(page(user), user)
+        assert not anon.observe(page("u4"), "u4")
+
+
+class TestPrivacyRemoval:
+    def test_owner_card_removed(self):
+        anon = make()
+        owner_card = card_number_for("owner").encode()
+        assert owner_card in page("owner")
+        for user in ("u1", "u2", "u3"):
+            anon.observe(page(user), user)
+        assert owner_card not in anon.anonymized
+        assert not find_card_numbers(anon.anonymized)
+
+    def test_shared_content_preserved(self):
+        anon = make()
+        for user in ("u1", "u2", "u3"):
+            anon.observe(page(user), user)
+        assert b"shared catalog content" in anon.anonymized
+        # Most of the base should survive: privacy at minimal cost.
+        assert anon.kept_fraction() > 0.8
+
+    def test_m_equals_n_keeps_only_universal_chunks(self):
+        cfg = AnonymizationConfig(enabled=True, documents=3, min_count=3)
+        anon = Anonymizer(page("owner"), cfg, owner_user="owner")
+        # One comparison document lacks a chunk the others have.
+        anon.observe(page("u1", shared_tail=b"<p>extra section</p>" * 20), "u1")
+        anon.observe(page("u2"), "u2")
+        anon.observe(page("u3"), "u3")
+        assert anon.state is AnonymizationState.READY
+        assert b"shared catalog content" in anon.anonymized
+        assert not find_card_numbers(anon.anonymized)
+
+    def test_higher_m_smaller_base(self):
+        def run(m, n):
+            cfg = AnonymizationConfig(enabled=True, documents=n, min_count=m)
+            anon = Anonymizer(page("owner"), cfg, owner_user="owner")
+            users = [f"u{i}" for i in range(n)]
+            for i, user in enumerate(users):
+                # give each user's page some idiosyncratic content
+                tail = (f"<p>extra {user}</p>" * (i + 1)).encode()
+                anon.observe(page(user, shared_tail=tail), user)
+            return len(anon.anonymized)
+
+        assert run(4, 4) <= run(1, 4)
+
+    def test_shared_corporate_card_survives_m1_removed_m2(self):
+        """The paper's corporate-card scenario: data shared by 2 users leaks
+        through M=1 anonymization but not through M=2."""
+        corp = b"4444-5555-6666-7777"
+
+        def corp_page(user):
+            return page(user, with_card=False) + b"<div>Corp card: " + corp + b"</div>"
+
+        for m, expect_leak in ((1, True), (3, False)):
+            cfg = AnonymizationConfig(enabled=True, documents=4, min_count=m)
+            anon = Anonymizer(corp_page("owner"), cfg, owner_user="owner")
+            anon.observe(corp_page("u1"), "u1")  # second card holder
+            anon.observe(page("u2", with_card=False), "u2")
+            anon.observe(page("u3", with_card=False), "u3")
+            anon.observe(page("u4", with_card=False), "u4")
+            assert anon.state is AnonymizationState.READY
+            leaked = corp in anon.anonymized
+            assert leaked == expect_leak, f"M={m}"
+
+
+class TestChunkCounts:
+    def test_counts_bounded_by_users(self):
+        anon = make()
+        for user in ("u1", "u2", "u3"):
+            anon.observe(page(user), user)
+        counts = anon.chunk_counts()
+        assert len(counts) == len(page("owner"))
+        assert all(0 <= c <= 3 for c in counts)
+
+    def test_empty_base(self):
+        cfg = AnonymizationConfig(enabled=True, documents=1, min_count=1)
+        anon = Anonymizer(b"", cfg)
+        anon.observe(page("u1"), "u1")
+        assert anon.state is AnonymizationState.READY
+        assert anon.anonymized == b""
+
+    def test_kept_fraction_before_ready_is_one(self):
+        assert make().kept_fraction() == 1.0
+
+
+class TestConfigValidation:
+    def test_min_count_above_documents_rejected(self):
+        with pytest.raises(ValueError):
+            AnonymizationConfig(enabled=True, documents=3, min_count=4)
+
+    def test_zero_documents_rejected(self):
+        with pytest.raises(ValueError):
+            AnonymizationConfig(enabled=True, documents=0, min_count=0)
+
+    def test_disabled_skips_validation(self):
+        AnonymizationConfig(enabled=False, documents=0, min_count=0)

@@ -1,0 +1,192 @@
+"""Tests for the DeltaServer engine (request handling, Fig. 1 flow)."""
+
+import pytest
+
+from repro.core.config import (
+    AnonymizationConfig,
+    BaseFileConfig,
+    DeltaServerConfig,
+    GroupingConfig,
+)
+from repro.core.delta_server import DeltaServer
+from repro.delta.apply import apply_delta
+from repro.delta.compress import decompress
+from repro.http.messages import (
+    HEADER_ACCEPT_DELTA,
+    Request,
+    Response,
+    base_ref,
+)
+from repro.origin.server import OriginServer
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.url.rules import RuleBook
+
+
+@pytest.fixture()
+def stack():
+    site = SyntheticSite(SiteSpec(name="www.d.example", products_per_category=4))
+    origin = OriginServer([site])
+    rulebook = RuleBook()
+    rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
+    config = DeltaServerConfig(
+        anonymization=AnonymizationConfig(enabled=True, documents=2, min_count=1),
+    )
+    server = DeltaServer(origin.handle, config, rulebook)
+    return site, origin, server
+
+
+def req(url: str, user: str, accept: str | None = None) -> Request:
+    request = Request(url=url, cookies={"uid": user}, client_id=user)
+    if accept:
+        request.headers.set(HEADER_ACCEPT_DELTA, accept)
+    return request
+
+
+def warm_up(site, server, url: str, users=("u1", "u2", "u3")) -> str:
+    """Create the class and drive anonymization to READY; return the ref."""
+    for user in users:
+        server.handle(req(url, user), now=0.0)
+    cls = server.class_of(url)
+    assert cls is not None and cls.can_serve_deltas
+    return base_ref(cls.class_id, cls.version)
+
+
+class TestBasicFlow:
+    def test_first_request_full_response(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        response = server.handle(req(url, "u1"), now=0.0)
+        assert response.status == 200
+        assert not response.is_delta
+        assert server.stats.full_served == 1
+
+    def test_delta_served_to_base_holder(self, stack):
+        site, origin, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        response = server.handle(req(url, "u9", accept=ref), now=10.0)
+        assert response.is_delta
+        assert response.delta_base_ref == ref
+        # Reconstruct and compare against a direct origin render.
+        cls = server.class_of(url)
+        base = cls.distributable_base
+        body = apply_delta(decompress(response.body), base)
+        direct = origin.handle(req(url, "u9"), now=10.0).body
+        assert body == direct
+
+    def test_delta_much_smaller_than_document(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        response = server.handle(req(url, "u9", accept=ref), now=10.0)
+        direct_size = server.stats.direct_bytes / server.stats.requests
+        assert response.content_length < 0.2 * direct_size
+
+    def test_full_response_advertises_base(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        response = server.handle(req(url, "u9"), now=10.0)
+        assert not response.is_delta
+        assert response.base_file_ref == ref
+
+    def test_unknown_accept_ref_gets_full(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        warm_up(site, server, url)
+        response = server.handle(req(url, "u9", accept="cls999/7"), now=10.0)
+        assert not response.is_delta
+
+
+class TestBaseFileDistribution:
+    def test_base_file_served_cachable(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        class_id, version = ref.split("/")
+        base_url = DeltaServer.base_file_url(site.spec.name, class_id, int(version))
+        response = server.handle(Request(url=base_url), now=0.0)
+        assert response.status == 200
+        assert response.cachable
+        assert response.base_file_ref == ref
+
+    def test_unknown_class_404(self, stack):
+        site, _, server = stack
+        base_url = DeltaServer.base_file_url(site.spec.name, "cls404", 1)
+        assert server.handle(Request(url=base_url), now=0.0).status == 404
+
+    def test_stale_version_404(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        class_id, _ = ref.split("/")
+        base_url = DeltaServer.base_file_url(site.spec.name, class_id, 99)
+        assert server.handle(Request(url=base_url), now=0.0).status == 404
+
+    def test_base_file_has_no_private_data(self, stack):
+        from repro.origin.private import find_card_numbers
+
+        site, _, server = stack
+        # pick a page that renders the account box
+        page = next(p for p in site.all_pages() if site.page_has_private_box(p))
+        url = site.url_for(page)
+        warm_up(site, server, url)
+        cls = server.class_of(url)
+        assert not find_card_numbers(cls.distributable_base)
+
+
+class TestPassthrough:
+    def test_non_200_passed_through(self, stack):
+        _, _, server = stack
+        response = server.handle(req("www.d.example/bogus?id=0", "u1"), now=0.0)
+        assert response.status == 404
+        assert server.stats.passthrough == 1
+
+    def test_tiny_documents_passed_through(self):
+        def tiny_origin(request, now):
+            return Response(status=200, body=b"ok")
+
+        server = DeltaServer(tiny_origin)
+        response = server.handle(req("www.t.example/x?id=1", "u1"), now=0.0)
+        assert response.body == b"ok"
+        assert server.stats.passthrough == 1
+
+
+class TestAccounting:
+    def test_direct_vs_sent_bytes(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        for i in range(5):
+            server.handle(req(url, "u9", accept=ref), now=float(i))
+        stats = server.stats
+        assert stats.direct_bytes > stats.sent_bytes
+        assert stats.deltas_served == 5
+        assert stats.savings > 0.4
+
+    def test_class_of_unknown_url(self, stack):
+        _, _, server = stack
+        assert server.class_of("www.d.example/never?id=0") is None
+
+
+class TestRebaseTransition:
+    def test_previous_version_clients_still_get_deltas(self, stack):
+        site, origin, server = stack
+        url = site.url_for(site.all_pages()[0])
+        old_ref = warm_up(site, server, url)
+        cls = server.class_of(url)
+        # Force a rebase + re-anonymization to version 2.
+        doc = origin.handle(req(url, "zz"), now=50.0).body
+        cls.adopt_base(doc, owner_user="zz", now=50.0)
+        cls.feed(origin.handle(req(url, "v1"), now=51.0).body, "v1")
+        cls.feed(origin.handle(req(url, "v2"), now=52.0).body, "v2")
+        assert cls.version == 2
+        new_ref = base_ref(cls.class_id, 2)
+        # A client still holding version 1 gets a delta against it, plus an
+        # upgrade advertisement for version 2.
+        response = server.handle(req(url, "u9", accept=old_ref), now=60.0)
+        assert response.is_delta
+        assert response.delta_base_ref == old_ref
+        assert response.base_file_ref == new_ref
+        body = apply_delta(decompress(response.body), cls.base_for_version(1))
+        assert body == origin.handle(req(url, "u9"), now=60.0).body

@@ -1,0 +1,120 @@
+"""Tests for rebase policies (group-rebase and basic-rebase)."""
+
+import random
+
+from repro.core.base_file import FirstResponsePolicy, RandomizedPolicy
+from repro.core.config import BaseFileConfig
+from repro.core.rebase import RebaseController
+
+
+def toy_delta(base: bytes, target: bytes) -> int:
+    return abs(len(base) - len(target)) + sum(
+        1 for a, b in zip(base, target) if a != b
+    )
+
+
+def make_controller(**kwargs) -> tuple[RebaseController, BaseFileConfig]:
+    config = BaseFileConfig(**kwargs)
+    return RebaseController(config), config
+
+
+class TestBasicRebase:
+    def test_no_incumbent_triggers_basic(self):
+        controller, _ = make_controller()
+        decision = controller.check(
+            FirstResponsePolicy(), None, b"current doc", 0.0, 0.0
+        )
+        assert decision is not None
+        assert decision.kind == "basic"
+        assert decision.new_base == b"current doc"
+
+    def test_bad_delta_ratio_triggers_basic(self):
+        controller, _ = make_controller(basic_rebase_ratio=0.5)
+        for _ in range(10):
+            controller.note_delta(900, 1000)  # deltas ~ document size
+        decision = controller.check(
+            FirstResponsePolicy(), b"old base", b"current", 0.0, 0.0
+        )
+        assert decision is not None
+        assert decision.kind == "basic"
+
+    def test_good_deltas_no_basic_rebase(self):
+        controller, _ = make_controller(basic_rebase_ratio=0.5, rebase_timeout=1e9)
+        for _ in range(10):
+            controller.note_delta(20, 1000)
+        assert (
+            controller.check(FirstResponsePolicy(), b"base", b"cur", 0.0, 0.0) is None
+        )
+
+    def test_ewma_recovers_after_reset(self):
+        controller, _ = make_controller()
+        controller.note_delta(900, 1000)
+        assert controller.smoothed_ratio > 0.5
+        controller.reset()
+        assert controller.smoothed_ratio is None
+
+    def test_ewma_smoothing(self):
+        controller, _ = make_controller(ratio_smoothing=0.5)
+        controller.note_delta(1000, 1000)  # 1.0
+        controller.note_delta(0, 1000)  # pulls halfway down... delta 0 allowed
+        assert controller.smoothed_ratio == 0.5
+
+
+class TestGroupRebase:
+    def test_timeout_gates_group_rebase(self):
+        controller, config = make_controller(rebase_timeout=100.0)
+        policy = FirstResponsePolicy()
+        policy.observe(b"better base")
+        # incumbent differs from the policy's favorite, but too soon
+        early = controller.check(policy, b"incumbent", b"cur", 50.0, 0.0)
+        assert early is None
+        late = controller.check(policy, b"incumbent", b"cur", 150.0, 0.0)
+        assert late is not None
+        assert late.kind == "group"
+        assert late.new_base == b"better base"
+
+    def test_no_rebase_when_policy_agrees(self):
+        controller, _ = make_controller(rebase_timeout=0.0)
+        policy = FirstResponsePolicy()
+        policy.observe(b"base")
+        assert controller.check(policy, b"base", b"cur", 100.0, 0.0) is None
+
+    def test_no_rebase_when_policy_empty(self):
+        controller, _ = make_controller(rebase_timeout=0.0)
+        assert (
+            controller.check(FirstResponsePolicy(), b"base", b"cur", 100.0, 0.0)
+            is None
+        )
+
+    def test_improvement_hysteresis_blocks_marginal_swap(self):
+        config = BaseFileConfig(
+            sample_probability=1.0,
+            capacity=4,
+            rebase_timeout=0.0,
+            improvement_factor=2.0,  # challenger must be 2x better
+        )
+        controller = RebaseController(config)
+        policy = RandomizedPolicy(config, toy_delta, random.Random(1))
+        # spread-out candidates: the incumbent is only marginally worse
+        # than the policy's favorite (mean 3 vs mean 2 — below the 2x bar)
+        for size in (100, 102, 104):
+            policy.observe(bytes([65]) * size)
+        incumbent = bytes([65]) * 105
+        decision = controller.check(policy, incumbent, b"cur", 1000.0, 0.0)
+        assert decision is None
+
+    def test_clear_improvement_passes_hysteresis(self):
+        config = BaseFileConfig(
+            sample_probability=1.0,
+            capacity=4,
+            rebase_timeout=0.0,
+            improvement_factor=1.5,
+        )
+        controller = RebaseController(config)
+        policy = RandomizedPolicy(config, toy_delta, random.Random(1))
+        for size in (100, 101, 102):
+            policy.observe(bytes([65]) * size)
+        incumbent = bytes([65]) * 400  # terrible incumbent
+        decision = controller.check(policy, incumbent, b"cur", 1000.0, 0.0)
+        assert decision is not None
+        assert decision.kind == "group"

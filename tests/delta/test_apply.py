@@ -1,0 +1,67 @@
+"""Tests for delta application and its failure modes."""
+
+import pytest
+
+from repro.delta import (
+    BaseMismatchError,
+    CorruptDeltaError,
+    apply_delta,
+    make_delta,
+    replay,
+)
+from repro.delta.instructions import Add, Copy
+
+
+class TestReplay:
+    def test_copy_and_add(self):
+        base = b"0123456789"
+        out = replay([Copy(0, 4), Add(b"XY"), Copy(8, 2)], base)
+        assert out == b"0123XY89"
+
+    def test_copy_out_of_bounds_raises(self):
+        with pytest.raises(CorruptDeltaError):
+            replay([Copy(5, 10)], b"short")
+
+    def test_empty_stream(self):
+        assert replay([], b"anything") == b""
+
+
+class TestApplyDelta:
+    def test_roundtrip(self):
+        base = b"the quick brown fox " * 30
+        target = base.replace(b"quick", b"slow", 2)
+        assert apply_delta(make_delta(base, target), base) == target
+
+    def test_wrong_base_length_detected(self):
+        base = b"a" * 300
+        target = b"a" * 200 + b"b" * 100
+        payload = make_delta(base, target)
+        with pytest.raises(BaseMismatchError):
+            apply_delta(payload, base + b"extra")
+
+    def test_wrong_base_same_length_detected(self):
+        """Same length, different content: checksum must catch it."""
+        base = b"a" * 300
+        other = b"a" * 299 + b"z"  # same length, content differs
+        target = base + b"tail"
+        payload = make_delta(base, target)
+        with pytest.raises(BaseMismatchError):
+            apply_delta(payload, other)
+
+    def test_corrupt_payload_detected(self):
+        base = b"content " * 50
+        payload = bytearray(make_delta(base, base + b"x"))
+        payload[0] ^= 0xFF  # smash the magic
+        with pytest.raises(CorruptDeltaError):
+            apply_delta(bytes(payload), base)
+
+    def test_stale_base_after_rebase_scenario(self):
+        """The deployment failure the checksum exists for: a client applies
+        a delta made against base v2 to its cached v1."""
+        base_v1 = b"<html>" + b"<p>version one content</p>" * 50 + b"</html>"
+        base_v2 = b"<html>" + b"<p>version two content</p>" * 50 + b"</html>"
+        target = base_v2.replace(b"two", b"2", 5)
+        payload = make_delta(base_v2, target)
+        if len(base_v1) == len(base_v2):
+            with pytest.raises(BaseMismatchError):
+                apply_delta(payload, base_v1)

@@ -1,0 +1,133 @@
+"""Tests for the binary delta wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta.codec import (
+    MAGIC,
+    checksum,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+    read_varint,
+    varint_size,
+    write_varint,
+)
+from repro.delta.errors import CorruptDeltaError
+from repro.delta.instructions import Add, Copy
+from repro.delta.vdelta import VdeltaEncoder
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**14, 2**21, 2**35])
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        write_varint(value, buf)
+        decoded, pos = read_varint(bytes(buf), 0)
+        assert decoded == value
+        assert pos == len(buf)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            write_varint(-1, bytearray())
+
+    def test_truncated_raises(self):
+        buf = bytearray()
+        write_varint(300, buf)
+        with pytest.raises(CorruptDeltaError):
+            read_varint(bytes(buf[:-1]), 0)
+
+    def test_varint_size_matches_encoding(self):
+        for value in (0, 127, 128, 16383, 16384, 2**28):
+            buf = bytearray()
+            write_varint(value, buf)
+            assert varint_size(value) == len(buf)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, value):
+        buf = bytearray()
+        write_varint(value, buf)
+        assert read_varint(bytes(buf), 0) == (value, len(buf))
+
+
+class TestDeltaCodec:
+    def _encode(self, base, target):
+        result = VdeltaEncoder().encode(base, target)
+        return result.instructions, encode_delta(
+            result.instructions, len(base), checksum(target)
+        )
+
+    def test_roundtrip(self):
+        base = b"base content here " * 20
+        target = base.replace(b"content", b"CONTENT", 2) + b"tail"
+        instructions, payload = self._encode(base, target)
+        decoded, tlen, blen, check = decode_delta(payload)
+        assert decoded == instructions
+        assert tlen == len(target)
+        assert blen == len(base)
+        assert check == checksum(target)
+
+    def test_magic_checked(self):
+        _, payload = self._encode(b"aaaa" * 10, b"aaaa" * 10)
+        bad = b"XXXX" + payload[4:]
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(bad)
+
+    def test_truncated_payload(self):
+        _, payload = self._encode(b"abcdefgh" * 10, b"abcdefgh" * 10 + b"tail")
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(payload[:-3])
+
+    def test_unknown_opcode(self):
+        payload = bytearray(self._encode(b"base" * 10, b"base" * 10)[1])
+        # header: magic + tlen varint + blen varint + 4 checksum bytes; the
+        # first instruction byte follows.  Corrupt it.
+        header_len = len(MAGIC)
+        _, pos = read_varint(bytes(payload), header_len)
+        _, pos = read_varint(bytes(payload), pos)
+        pos += 4
+        payload[pos] = 0x7F
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(bytes(payload))
+
+    def test_copy_outside_base_rejected(self):
+        payload = encode_delta([Copy(0, 10)], base_length=10, target_checksum=0)
+        # lie about the base length
+        bad = encode_delta([Copy(5, 10)], base_length=10, target_checksum=0)
+        decode_delta(payload)
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(bad)
+
+    def test_length_mismatch_rejected(self):
+        # Hand-craft: header says 5 bytes but instructions produce 3.
+        out = bytearray(MAGIC)
+        write_varint(5, out)
+        write_varint(0, out)
+        out += (0).to_bytes(4, "big")
+        out += bytes([0x00])
+        write_varint(3, out)
+        out += b"abc"
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(bytes(out))
+
+    def test_encoded_size_matches_actual(self):
+        base = b"0123456789abcdef" * 64
+        for target in (
+            base,
+            base[:300] + b"mutation" + base[500:],
+            b"completely different " * 30,
+        ):
+            result = VdeltaEncoder().encode(base, target)
+            actual = len(
+                encode_delta(result.instructions, len(base), checksum(target))
+            )
+            assert encoded_size(result.instructions, len(base)) == actual
+
+    def test_empty_instruction_stream(self):
+        payload = encode_delta([], base_length=0, target_checksum=checksum(b""))
+        decoded, tlen, blen, _ = decode_delta(payload)
+        assert decoded == []
+        assert tlen == 0
+        assert blen == 0

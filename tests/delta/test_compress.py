@@ -1,0 +1,44 @@
+"""Tests for delta compression (the paper's gzip step)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta.compress import compress, compressed_size, decompress
+
+
+class TestCompress:
+    def test_roundtrip(self):
+        data = b"compressible text " * 200
+        assert decompress(compress(data)) == data
+
+    def test_compresses_redundant_content(self):
+        data = b"the same sentence again and again " * 100
+        assert len(compress(data)) < 0.1 * len(data)
+
+    def test_factor_of_two_on_html_like_deltas(self):
+        """The paper attributes 'a factor of 2 on average' to compression;
+        prose-like delta content should compress at least that well."""
+        from repro.origin.text import paragraph, rng_for
+
+        delta_like = paragraph(rng_for("gzip-test"), 4000).encode()
+        assert len(compress(delta_like)) <= 0.55 * len(delta_like)
+
+    def test_compressed_size_matches(self):
+        data = b"abc" * 500
+        assert compressed_size(data) == len(compress(data))
+
+    def test_levels_tradeoff(self):
+        data = (b"some mixed content 123 " * 300) + bytes(range(256)) * 4
+        fast = compress(data, level=1)
+        best = compress(data, level=9)
+        assert len(best) <= len(fast)
+        assert decompress(fast) == decompress(best) == data
+
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(max_size=2000))
+def test_roundtrip_property(data):
+    assert decompress(compress(data)) == data

@@ -1,0 +1,109 @@
+"""Unit tests for the delta instruction model."""
+
+import pytest
+
+from repro.delta.instructions import (
+    Add,
+    Copy,
+    added_bytes,
+    base_coverage,
+    coalesce,
+    copied_bytes,
+    target_length,
+    validate,
+)
+
+
+class TestInstructionValidation:
+    def test_copy_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Copy(offset=-1, length=5)
+
+    def test_copy_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Copy(offset=0, length=0)
+
+    def test_add_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            Add(b"")
+
+    def test_copy_is_frozen(self):
+        copy = Copy(0, 4)
+        with pytest.raises(AttributeError):
+            copy.offset = 3
+
+    def test_validate_accepts_in_bounds_copy(self):
+        validate([Copy(0, 10), Add(b"x")], base_length=10)
+
+    def test_validate_rejects_out_of_bounds_copy(self):
+        with pytest.raises(ValueError):
+            validate([Copy(5, 10)], base_length=10)
+
+
+class TestLengthAccounting:
+    def test_target_length_sums_copies_and_adds(self):
+        instrs = [Copy(0, 7), Add(b"abc"), Copy(10, 2)]
+        assert target_length(instrs) == 12
+
+    def test_copied_and_added_bytes(self):
+        instrs = [Copy(0, 7), Add(b"abc"), Copy(10, 2)]
+        assert copied_bytes(instrs) == 9
+        assert added_bytes(instrs) == 3
+
+    def test_empty_stream(self):
+        assert target_length([]) == 0
+        assert copied_bytes([]) == 0
+        assert added_bytes([]) == 0
+
+
+class TestBaseCoverage:
+    def test_merges_overlapping_ranges(self):
+        instrs = [Copy(0, 10), Copy(5, 10), Add(b"x")]
+        assert base_coverage(instrs, base_length=20) == [(0, 15)]
+
+    def test_merges_adjacent_ranges(self):
+        instrs = [Copy(0, 5), Copy(5, 5)]
+        assert base_coverage(instrs, base_length=10) == [(0, 10)]
+
+    def test_keeps_disjoint_ranges(self):
+        instrs = [Copy(0, 3), Copy(10, 3)]
+        assert base_coverage(instrs, base_length=20) == [(0, 3), (10, 13)]
+
+    def test_sorts_out_of_order_copies(self):
+        instrs = [Copy(10, 3), Copy(0, 3)]
+        assert base_coverage(instrs, base_length=20) == [(0, 3), (10, 13)]
+
+    def test_rejects_copy_past_base(self):
+        with pytest.raises(ValueError):
+            base_coverage([Copy(18, 5)], base_length=20)
+
+    def test_adds_do_not_cover(self):
+        assert base_coverage([Add(b"hello")], base_length=20) == []
+
+
+class TestCoalesce:
+    def test_merges_adjacent_adds(self):
+        out = list(coalesce([Add(b"ab"), Add(b"cd")]))
+        assert out == [Add(b"abcd")]
+
+    def test_merges_contiguous_copies(self):
+        out = list(coalesce([Copy(0, 5), Copy(5, 3)]))
+        assert out == [Copy(0, 8)]
+
+    def test_keeps_non_contiguous_copies(self):
+        out = list(coalesce([Copy(0, 5), Copy(6, 3)]))
+        assert out == [Copy(0, 5), Copy(6, 3)]
+
+    def test_mixed_stream(self):
+        out = list(coalesce([Add(b"a"), Add(b"b"), Copy(0, 2), Copy(2, 2), Add(b"c")]))
+        assert out == [Add(b"ab"), Copy(0, 4), Add(b"c")]
+
+    def test_empty(self):
+        assert list(coalesce([])) == []
+
+    def test_preserves_target(self):
+        base = b"0123456789"
+        instrs = [Copy(0, 3), Copy(3, 3), Add(b"x"), Add(b"y"), Copy(9, 1)]
+        from repro.delta.apply import replay
+
+        assert replay(list(coalesce(instrs)), base) == replay(instrs, base)

@@ -1,0 +1,71 @@
+"""Tests for the light delta estimator and its index cache."""
+
+import pytest
+
+from repro.delta import LightEstimator, delta_size
+
+
+def docs():
+    skeleton = b"<div class='layout'>" + b"<p>shared page chrome</p>" * 80
+    a = skeleton + b"<main>alpha content body first version</main>" * 5
+    b = skeleton + b"<main>alpha content body second version</main>" * 5
+    c = b"completely unrelated document " * 60
+    return a, b, c
+
+
+class TestEstimates:
+    def test_similar_documents_small_estimate(self):
+        a, b, _ = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, b) < 0.3 * len(b)
+
+    def test_unrelated_documents_large_estimate(self):
+        a, _, c = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, c) > 0.8 * len(c)
+
+    def test_estimate_orders_like_full_differ(self):
+        a, b, c = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, b) < estimator.estimate(a, c)
+        assert delta_size(a, b) < delta_size(a, c)
+
+    def test_estimate_never_below_full(self):
+        """The light differ finds fewer matches, so its estimate is an
+        (approximate) upper bound on the real delta size."""
+        a, b, _ = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, b) >= 0.6 * delta_size(a, b)
+
+    def test_identical_documents_tiny(self):
+        a, _, _ = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, a) < 64
+
+
+class TestIndexCache:
+    def test_same_base_reuses_index(self):
+        a, b, _ = docs()
+        estimator = LightEstimator()
+        first = estimator.index(a)
+        second = estimator.index(a)
+        assert first is second
+
+    def test_distinct_bases_distinct_indexes(self):
+        a, _, c = docs()
+        estimator = LightEstimator()
+        assert estimator.index(a) is not estimator.index(c)
+
+    def test_cache_eviction(self):
+        estimator = LightEstimator(index_cache_size=2)
+        bases = [f"base number {i} ".encode() * 30 for i in range(4)]
+        indexes = [estimator.index(b) for b in bases]
+        # the first base was evicted: a fresh index is built
+        assert estimator.index(bases[0]) is not indexes[0]
+        # the most recent is still cached
+        assert estimator.index(bases[3]) is indexes[3]
+
+    def test_cached_estimates_identical(self):
+        a, b, _ = docs()
+        estimator = LightEstimator()
+        assert estimator.estimate(a, b) == estimator.estimate(a, b)

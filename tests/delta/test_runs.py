@@ -1,0 +1,107 @@
+"""Tests for the RUN instruction (VCDIFF parity)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import apply_delta, make_delta
+from repro.delta.apply import replay
+from repro.delta.codec import checksum, decode_delta, encode_delta, encoded_size
+from repro.delta.instructions import Add, Copy, Run, coalesce, optimize_runs
+
+
+class TestRunInstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Run(byte=-1, length=5)
+        with pytest.raises(ValueError):
+            Run(byte=256, length=5)
+        with pytest.raises(ValueError):
+            Run(byte=65, length=0)
+
+    def test_replay(self):
+        assert replay([Run(ord("x"), 5)], b"") == b"xxxxx"
+
+    def test_coalesce_merges_same_byte_runs(self):
+        out = list(coalesce([Run(65, 3), Run(65, 4)]))
+        assert out == [Run(65, 7)]
+
+    def test_coalesce_keeps_different_byte_runs(self):
+        out = list(coalesce([Run(65, 3), Run(66, 4)]))
+        assert out == [Run(65, 3), Run(66, 4)]
+
+
+class TestOptimizeRuns:
+    def test_long_run_extracted(self):
+        data = b"prefix" + b" " * 100 + b"suffix"
+        out = list(optimize_runs([Add(data)], min_run=24))
+        assert out == [Add(b"prefix"), Run(ord(" "), 100), Add(b"suffix")]
+
+    def test_short_runs_left_alone(self):
+        data = b"a" * 10 + b"b" * 10
+        out = list(optimize_runs([Add(data)], min_run=24))
+        assert out == [Add(data)]
+
+    def test_all_run(self):
+        out = list(optimize_runs([Add(b"=" * 50)], min_run=24))
+        assert out == [Run(ord("="), 50)]
+
+    def test_copies_untouched(self):
+        out = list(optimize_runs([Copy(0, 100)], min_run=24))
+        assert out == [Copy(0, 100)]
+
+    def test_replay_equivalence(self):
+        data = b"x" * 30 + b"abc" + b"y" * 40
+        original = [Add(data)]
+        optimized = list(optimize_runs(original))
+        assert replay(optimized, b"") == replay(original, b"")
+
+
+class TestRunWire:
+    def test_codec_roundtrip(self):
+        instructions = [Add(b"hi"), Run(0, 1000), Copy(0, 4)]
+        payload = encode_delta(instructions, base_length=4, target_checksum=0)
+        decoded, tlen, blen, _ = decode_delta(payload)
+        assert decoded == instructions
+        assert tlen == 1006
+
+    def test_encoded_size_exact(self):
+        instructions = [Run(32, 500), Add(b"abc")]
+        payload = encode_delta(
+            instructions, base_length=0, target_checksum=0
+        )
+        assert encoded_size(instructions, 0) == len(payload)
+
+    def test_run_much_smaller_than_literal(self):
+        base = b"unrelated base content that matches nothing here"
+        target = b"<td>" + b" " * 5000 + b"</td>"
+        payload = make_delta(base, target)
+        assert len(payload) < 100  # literal encoding would be ~5 KB
+        assert apply_delta(payload, base) == target
+
+    def test_padding_heavy_document(self):
+        """Documents with big padding blocks benefit measurably."""
+        base = b"<html><body>stable content here</body></html>"
+        target = (
+            b"<html><body>stable content here"
+            + b"&nbsp;" * 2  # small noise
+            + b"-" * 400  # separator row
+            + b"fresh tail</body></html>"
+        )
+        payload = make_delta(base, target)
+        assert apply_delta(payload, base) == target
+        assert len(payload) < len(target) * 0.4
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 255), st.integers(1, 120)), max_size=8
+    ),
+    noise=st.binary(max_size=40),
+)
+def test_run_heavy_targets_roundtrip(chunks, noise):
+    """Targets assembled from runs + noise always reconstruct exactly."""
+    target = b"".join(bytes([b]) * n for b, n in chunks) + noise
+    base = b"some base with text to maybe match " * 3
+    assert apply_delta(make_delta(base, target), base) == target

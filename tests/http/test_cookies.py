@@ -1,0 +1,37 @@
+"""Tests for the cookie-jar user-identification model."""
+
+from repro.http.cookies import CookieJar, issue_uid
+
+
+class TestCookieJar:
+    def test_ensure_uid_is_sticky(self):
+        jar = CookieJar()
+        uid = jar.ensure_uid()
+        assert jar.ensure_uid() == uid
+
+    def test_distinct_jars_distinct_uids(self):
+        # The paper's Netscape/IE caveat: two browser instances of the same
+        # human are two different "users" to the system.
+        assert CookieJar().ensure_uid() != CookieJar().ensure_uid()
+
+    def test_preseeded_uid_respected(self):
+        jar = CookieJar(cookies={"uid": "u-fixed"})
+        assert jar.ensure_uid() == "u-fixed"
+
+    def test_request_cookies_are_a_copy(self):
+        jar = CookieJar()
+        jar.ensure_uid()
+        cookies = jar.as_request_cookies()
+        cookies["uid"] = "tampered"
+        assert jar.cookies["uid"] != "tampered"
+
+    def test_clear_forgets_identity(self):
+        jar = CookieJar()
+        first = jar.ensure_uid()
+        jar.clear()
+        assert jar.ensure_uid() != first
+
+
+def test_issue_uid_unique():
+    uids = {issue_uid() for _ in range(100)}
+    assert len(uids) == 100

@@ -1,0 +1,44 @@
+"""Property-based tests for the HTTP message substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.messages import Headers, base_ref, parse_base_ref
+
+token = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-",
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(class_id=token, version=st.integers(min_value=0, max_value=10**9))
+def test_base_ref_roundtrip(class_id, version):
+    assert parse_base_ref(base_ref(class_id, version)) == (class_id, version)
+
+
+@settings(max_examples=80, deadline=None)
+@given(entries=st.lists(st.tuples(token, token), max_size=12))
+def test_headers_last_write_wins(entries):
+    headers = Headers()
+    expected: dict[str, str] = {}
+    for name, value in entries:
+        headers.set(name, value)
+        expected[name.lower()] = value
+    assert len(headers) == len(expected)
+    for lower_name, value in expected.items():
+        assert headers.get(lower_name) == value
+        assert headers.get(lower_name.upper()) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(entries=st.lists(st.tuples(token, token), max_size=8))
+def test_headers_copy_is_deep_enough(entries):
+    original = Headers()
+    for name, value in entries:
+        original.set(name, value)
+    clone = original.copy()
+    clone.set("X-New", "value")
+    assert "X-New" not in original
+    assert original == Headers(dict(original.items()))

@@ -1,0 +1,103 @@
+"""Tests for the HTTP message substrate."""
+
+import pytest
+
+from repro.http.messages import (
+    HEADER_ACCEPT_DELTA,
+    HEADER_DELTA,
+    HEADER_DELTA_BASE,
+    Headers,
+    Request,
+    Response,
+    base_ref,
+    parse_base_ref,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"X-Delta": "abc"})
+        assert headers.get("x-delta") == "abc"
+        assert headers.get("X-DELTA") == "abc"
+
+    def test_last_write_wins(self):
+        headers = Headers()
+        headers.set("X-Thing", "one")
+        headers.set("x-thing", "two")
+        assert headers.get("X-Thing") == "two"
+        assert len(headers) == 1
+
+    def test_contains(self):
+        headers = Headers({"Content-Type": "text/html"})
+        assert "content-type" in headers
+        assert "missing" not in headers
+
+    def test_default(self):
+        assert Headers().get("nope", "fallback") == "fallback"
+
+    def test_copy_is_independent(self):
+        original = Headers({"A": "1"})
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original.get("A") == "1"
+
+    def test_equality_ignores_case(self):
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+        assert Headers({"A": "1"}) != Headers({"A": "2"})
+
+
+class TestRequest:
+    def test_user_id_from_cookie(self):
+        request = Request(url="www.foo.com/x", cookies={"uid": "u42"})
+        assert request.user_id == "u42"
+
+    def test_no_cookie_no_user(self):
+        assert Request(url="www.foo.com/x").user_id is None
+
+    def test_accepts_delta_parses_header(self):
+        request = Request(url="www.foo.com/x")
+        request.headers.set(HEADER_ACCEPT_DELTA, "cls1/2,cls9/1")
+        assert request.accepts_delta() == ["cls1/2", "cls9/1"]
+
+    def test_accepts_delta_empty(self):
+        assert Request(url="www.foo.com/x").accepts_delta() == []
+
+
+class TestResponse:
+    def test_delta_detection(self):
+        response = Response(body=b"payload")
+        assert not response.is_delta
+        response.headers.set(HEADER_DELTA, "cls1/3")
+        assert response.is_delta
+        assert response.delta_base_ref == "cls1/3"
+
+    def test_base_file_detection(self):
+        response = Response(body=b"base")
+        response.headers.set(HEADER_DELTA_BASE, "cls1/3")
+        assert response.is_base_file
+        assert response.base_file_ref == "cls1/3"
+
+    def test_mark_cachable(self):
+        response = Response(body=b"x")
+        assert not response.cachable
+        response.mark_cachable(max_age=60)
+        assert response.cachable
+        assert "max-age=60" in response.headers.get("Cache-Control")
+
+    def test_content_length(self):
+        assert Response(body=b"12345").content_length == 5
+
+
+class TestBaseRef:
+    def test_roundtrip(self):
+        token = base_ref("cls7", 3)
+        assert token == "cls7/3"
+        assert parse_base_ref(token) == ("cls7", 3)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_base_ref("no-slash")
+
+    def test_non_numeric_version_rejected(self):
+        with pytest.raises(ValueError):
+            parse_base_ref("cls1/abc")

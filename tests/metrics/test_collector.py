@@ -1,0 +1,76 @@
+"""Tests for metrics collection and table rendering."""
+
+import pytest
+
+from repro.metrics.collector import BandwidthReport, SizeSample
+from repro.metrics.report import fmt_factor, fmt_kb, fmt_pct, render_table
+
+
+class TestBandwidthReport:
+    def _report(self):
+        return BandwidthReport(
+            name="site1",
+            requests=100,
+            direct_bytes=1_000_000,
+            sent_bytes=40_000,
+            base_file_upstream_bytes=10_000,
+        )
+
+    def test_total_sent_includes_base_files(self):
+        assert self._report().total_sent_bytes == 50_000
+
+    def test_savings(self):
+        assert self._report().savings == pytest.approx(0.95)
+
+    def test_reduction_factor(self):
+        assert self._report().reduction_factor == pytest.approx(20.0)
+
+    def test_kb_rounding(self):
+        report = self._report()
+        assert report.direct_kb == round(1_000_000 / 1024)
+        assert report.delta_kb == round(50_000 / 1024)
+
+    def test_empty_report(self):
+        report = BandwidthReport(name="empty")
+        assert report.savings == 0.0
+        assert report.reduction_factor == float("inf")
+
+
+class TestSizeSample:
+    def test_mean(self):
+        sample = SizeSample()
+        for v in (10, 20, 30):
+            sample.add(v)
+        assert sample.mean == pytest.approx(20.0)
+        assert sample.total == 60
+        assert sample.count == 3
+
+    def test_percentile(self):
+        sample = SizeSample()
+        for v in range(100):
+            sample.add(v)
+        assert sample.percentile(50) == 50
+        assert sample.percentile(0) == 0
+        assert sample.percentile(100) == 99
+
+    def test_empty(self):
+        sample = SizeSample()
+        assert sample.mean == 0.0
+        assert sample.percentile(50) == 0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["Name", "Value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        # all data lines same width structure
+        assert len(lines[3].split("|")) == len(lines[4].split("|"))
+
+    def test_formatters(self):
+        assert fmt_pct(0.948) == "94.8%"
+        assert fmt_kb(1024 * 30) == "30"
+        assert fmt_factor(29.96) == "30.0x"

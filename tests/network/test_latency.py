@@ -1,0 +1,50 @@
+"""Tests for latency measurement helpers."""
+
+import pytest
+
+from repro.network.latency import LatencyTracker, compare_sizes
+from repro.network.link import HIGH_BANDWIDTH, MODEM_56K
+
+
+class TestCompareSizes:
+    def test_ratio_properties(self):
+        comparison = compare_sizes(30 * 1024, 1024, MODEM_56K, samples=200)
+        assert comparison.latency_large > comparison.latency_small
+        assert comparison.latency_ratio > 1
+        assert comparison.link == "modem-56k"
+
+    def test_rounds_ratio(self):
+        comparison = compare_sizes(30 * 1024, 1024, HIGH_BANDWIDTH)
+        assert comparison.rounds_ratio == pytest.approx(5.0)
+
+
+class TestLatencyTracker:
+    def test_record_accumulates(self):
+        tracker = LatencyTracker(MODEM_56K)
+        latency = tracker.record(10_000)
+        assert latency > 0
+        assert tracker.count == 1
+        assert tracker.total == pytest.approx(latency)
+
+    def test_mean(self):
+        tracker = LatencyTracker(HIGH_BANDWIDTH)
+        for size in (1000, 2000, 3000):
+            tracker.record(size)
+        assert tracker.mean == pytest.approx(tracker.total / 3)
+
+    def test_empty_tracker(self):
+        tracker = LatencyTracker(MODEM_56K)
+        assert tracker.mean == 0.0
+        assert tracker.percentile(50) == 0.0
+
+    def test_percentiles_ordered(self):
+        tracker = LatencyTracker(MODEM_56K)
+        for size in range(1000, 50_000, 2500):
+            tracker.record(size)
+        assert tracker.percentile(10) <= tracker.percentile(50) <= tracker.percentile(90)
+
+    def test_deterministic_given_seed(self):
+        a = LatencyTracker(MODEM_56K, seed=5)
+        b = LatencyTracker(MODEM_56K, seed=5)
+        sizes = [30_000, 1_000, 20_000]
+        assert [a.record(s) for s in sizes] == [b.record(s) for s in sizes]

@@ -1,0 +1,115 @@
+"""Tests for the TCP slow-start transfer model."""
+
+import random
+
+import pytest
+
+from repro.network.link import HIGH_BANDWIDTH, LAN, MODEM_56K, LinkSpec
+from repro.network.tcp import mean_transfer_time, slow_start_rounds, transfer_time
+
+
+class TestLinkSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="x", bandwidth_bps=0, rtt=0.1)
+        with pytest.raises(ValueError):
+            LinkSpec(name="x", bandwidth_bps=1000, rtt=0)
+        with pytest.raises(ValueError):
+            LinkSpec(name="x", bandwidth_bps=1000, rtt=0.1, initial_cwnd=0)
+
+    def test_bandwidth_delay_product(self):
+        link = LinkSpec(name="x", bandwidth_bps=1_460 * 8 * 10, rtt=1.0)
+        assert link.bandwidth_delay_segments == pytest.approx(10.0)
+
+    def test_packet_transmission_time(self):
+        link = LinkSpec(name="x", bandwidth_bps=1460 * 8, rtt=0.1)
+        assert link.packet_transmission_time == pytest.approx(1.0)
+
+
+class TestSlowStartRounds:
+    def test_zero_bytes(self):
+        assert slow_start_rounds(0, HIGH_BANDWIDTH) == 0
+
+    def test_single_segment_one_round(self):
+        assert slow_start_rounds(100, HIGH_BANDWIDTH) == 1
+
+    def test_rounds_grow_logarithmically(self):
+        # initial cwnd 1, doubling: 1+2+4+8+16 = 31 segments in 5 rounds
+        mss = HIGH_BANDWIDTH.mss
+        assert slow_start_rounds(31 * mss, HIGH_BANDWIDTH) == 5
+        assert slow_start_rounds(32 * mss, HIGH_BANDWIDTH) == 6
+
+    def test_paper_ratio_30kb_vs_1kb(self):
+        """The paper's Section VI-A argument: ~5x rounds for 30 KB vs 1 KB."""
+        large = slow_start_rounds(30 * 1024, HIGH_BANDWIDTH)
+        small = slow_start_rounds(1024, HIGH_BANDWIDTH)
+        assert small == 1
+        assert 4 <= large <= 6
+
+
+class TestTransferTime:
+    def test_monotone_in_size(self):
+        for link in (HIGH_BANDWIDTH, MODEM_56K, LAN):
+            times = [
+                transfer_time(size, link).total
+                for size in (0, 1_000, 10_000, 100_000)
+            ]
+            assert times == sorted(times)
+
+    def test_zero_size_is_setup_only(self):
+        breakdown = transfer_time(0, HIGH_BANDWIDTH)
+        assert breakdown.total == breakdown.setup
+        assert breakdown.rounds == 0
+
+    def test_setup_can_be_excluded(self):
+        with_setup = transfer_time(1000, HIGH_BANDWIDTH).total
+        without = transfer_time(1000, HIGH_BANDWIDTH, include_setup=False).total
+        assert with_setup > without
+
+    def test_modem_transmission_dominates(self):
+        breakdown = transfer_time(30 * 1024, MODEM_56K)
+        assert breakdown.transmission > 0.5 * breakdown.total
+
+    def test_highbw_rtt_dominates(self):
+        breakdown = transfer_time(30 * 1024, HIGH_BANDWIDTH)
+        assert breakdown.transmission < 0.2 * breakdown.total
+
+    def test_loss_adds_penalty(self):
+        lossy = LinkSpec(
+            name="lossy", bandwidth_bps=1_000_000, rtt=0.05, loss_rate=0.5, rto=1.0
+        )
+        rng = random.Random(1)
+        breakdown = transfer_time(50_000, lossy, rng=rng)
+        assert breakdown.loss_penalty > 0
+
+    def test_no_rng_means_deterministic(self):
+        a = transfer_time(30_000, MODEM_56K).total
+        b = transfer_time(30_000, MODEM_56K).total
+        assert a == b
+        assert transfer_time(30_000, MODEM_56K).loss_penalty == 0
+
+
+class TestMeanTransferTime:
+    def test_lossless_equals_deterministic(self):
+        assert mean_transfer_time(10_000, HIGH_BANDWIDTH) == pytest.approx(
+            transfer_time(10_000, HIGH_BANDWIDTH).total
+        )
+
+    def test_lossy_mean_above_lossless(self):
+        assert mean_transfer_time(30 * 1024, MODEM_56K, samples=300) > transfer_time(
+            30 * 1024, MODEM_56K
+        ).total
+
+
+class TestPaperRatios:
+    def test_modem_latency_ratio_near_10(self):
+        """Paper: L1/L2 ≈ 10 for 30 KB vs 1 KB over a 56 Kb/s modem."""
+        l1 = mean_transfer_time(30 * 1024, MODEM_56K, samples=400)
+        l2 = mean_transfer_time(1024, MODEM_56K, samples=400)
+        assert 7 <= l1 / l2 <= 14
+
+    def test_highbw_rounds_ratio_near_5(self):
+        ratio = slow_start_rounds(30 * 1024, HIGH_BANDWIDTH) / slow_start_rounds(
+            1024, HIGH_BANDWIDTH
+        )
+        assert 4 <= ratio <= 6

@@ -1,0 +1,63 @@
+"""Tests for the private-information model."""
+
+from repro.origin.private import (
+    card_number_for,
+    find_card_numbers,
+    profile_for,
+    shared_card_number,
+)
+
+
+class TestCardNumbers:
+    def test_deterministic_per_user(self):
+        assert card_number_for("u1") == card_number_for("u1")
+
+    def test_distinct_users_distinct_cards(self):
+        assert card_number_for("u1") != card_number_for("u2")
+
+    def test_format(self):
+        card = card_number_for("u1")
+        groups = card.split("-")
+        assert len(groups) == 4
+        assert all(len(g) == 4 and g.isdigit() for g in groups)
+
+    def test_salt_changes_card(self):
+        assert card_number_for("u1") != card_number_for("u1", salt="other")
+
+
+class TestDetector:
+    def test_finds_embedded_card(self):
+        card = card_number_for("u1").encode()
+        doc = b"<p>Card on file: " + card + b"</p>"
+        assert find_card_numbers(doc) == {card}
+
+    def test_finds_multiple(self):
+        c1 = card_number_for("u1").encode()
+        c2 = card_number_for("u2").encode()
+        assert find_card_numbers(c1 + b" and " + c2) == {c1, c2}
+
+    def test_ignores_other_digits(self):
+        assert find_card_numbers(b"call 555-1234 or 12345678") == set()
+
+    def test_word_boundary(self):
+        card = card_number_for("u1").encode()
+        # embedded in a longer digit run -> not a standalone card
+        assert find_card_numbers(b"9" + card + b"9") == set()
+
+
+class TestProfiles:
+    def test_profile_without_group(self):
+        profile = profile_for("u1")
+        assert profile.shared_card is None
+        assert profile.tokens() == [profile.card]
+
+    def test_profile_with_group(self):
+        profile = profile_for("emp", shared_group="acme")
+        assert profile.shared_card == shared_card_number("acme")
+        assert len(profile.tokens()) == 2
+
+    def test_group_members_share_card(self):
+        a = profile_for("emp1", shared_group="acme")
+        b = profile_for("emp2", shared_group="acme")
+        assert a.shared_card == b.shared_card
+        assert a.card != b.card

@@ -1,0 +1,78 @@
+"""Tests for the simulated origin server."""
+
+import pytest
+
+from repro.http.messages import Request
+from repro.origin.private import find_card_numbers, shared_card_number
+from repro.origin.server import OriginServer
+from repro.origin.site import SiteSpec, SyntheticSite
+
+
+@pytest.fixture()
+def origin():
+    site = SyntheticSite(SiteSpec(name="www.o.example", products_per_category=4))
+    return OriginServer([site])
+
+
+def _url(origin, index=0):
+    site = origin.sites[0]
+    return site.url_for(site.all_pages()[index])
+
+
+class TestRouting:
+    def test_serves_known_url(self, origin):
+        response = origin.handle(Request(url=_url(origin)), now=0.0)
+        assert response.status == 200
+        assert len(response.body) > 1000
+
+    def test_404_for_unknown_site(self, origin):
+        response = origin.handle(Request(url="www.unknown.example/x?id=0"), now=0.0)
+        assert response.status == 404
+        assert origin.stats.errors == 1
+
+    def test_404_for_bad_url(self, origin):
+        response = origin.handle(Request(url="www.o.example/bogus?id=0"), now=0.0)
+        assert response.status == 404
+
+    def test_duplicate_site_rejected(self, origin):
+        with pytest.raises(ValueError):
+            origin.add_site(SyntheticSite(SiteSpec(name="www.o.example")))
+
+    def test_stats_accumulate(self, origin):
+        origin.handle(Request(url=_url(origin)), now=0.0)
+        origin.handle(Request(url=_url(origin)), now=0.0)
+        assert origin.stats.requests == 2
+        assert origin.stats.bytes_rendered > 0
+
+
+class TestPersonalization:
+    def test_logged_in_render_differs_from_anonymous(self, origin):
+        url = _url(origin)
+        anon = origin.handle(Request(url=url), now=0.0)
+        logged = origin.handle(Request(url=url, cookies={"uid": "u1"}), now=0.0)
+        assert anon.body != logged.body
+
+    def test_profiles_are_stable(self, origin):
+        a = origin.profile_for("u9")
+        b = origin.profile_for("u9")
+        assert a is b
+
+    def test_shared_card_group(self, origin):
+        origin.register_shared_card("emp1", "acme")
+        origin.register_shared_card("emp2", "acme")
+        site = origin.sites[0]
+        page = next(p for p in site.all_pages() if site.page_has_private_box(p))
+        url = site.url_for(page)
+        body1 = origin.handle(Request(url=url, cookies={"uid": "emp1"}), now=0.0).body
+        body2 = origin.handle(Request(url=url, cookies={"uid": "emp2"}), now=0.0).body
+        shared = shared_card_number("acme").encode()
+        assert shared in find_card_numbers(body1)
+        assert shared in find_card_numbers(body2)
+
+    def test_distinct_users_distinct_cards(self, origin):
+        site = origin.sites[0]
+        page = next(p for p in site.all_pages() if site.page_has_private_box(p))
+        url = site.url_for(page)
+        body1 = origin.handle(Request(url=url, cookies={"uid": "ua"}), now=0.0).body
+        body2 = origin.handle(Request(url=url, cookies={"uid": "ub"}), now=0.0).body
+        assert find_card_numbers(body1) != find_card_numbers(body2)

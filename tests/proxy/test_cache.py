@@ -1,0 +1,113 @@
+"""Tests for the LRU cache substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.messages import Response
+from repro.proxy.cache import LRUCache
+
+
+def cachable(body: bytes) -> Response:
+    response = Response(status=200, body=body)
+    response.mark_cachable()
+    return response
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUCache(1024)
+        cache.put("u1", cachable(b"abc"))
+        hit = cache.get("u1")
+        assert hit is not None and hit.body == b"abc"
+        assert cache.stats.hits == 1
+
+    def test_miss(self):
+        cache = LRUCache(1024)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_uncachable_rejected(self):
+        cache = LRUCache(1024)
+        assert not cache.put("u", Response(status=200, body=b"x"))
+        assert "u" not in cache
+
+    def test_non_200_rejected(self):
+        cache = LRUCache(1024)
+        response = Response(status=404, body=b"x")
+        response.cachable = True
+        assert not cache.put("u", response)
+
+    def test_oversized_rejected(self):
+        cache = LRUCache(10)
+        assert not cache.put("u", cachable(b"x" * 100))
+
+    def test_replace_updates_size(self):
+        cache = LRUCache(1024)
+        cache.put("u", cachable(b"a" * 100))
+        cache.put("u", cachable(b"b" * 50))
+        assert cache.size_bytes == 50
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = LRUCache(1024)
+        cache.put("u", cachable(b"abc"))
+        assert cache.invalidate("u")
+        assert not cache.invalidate("u")
+        assert cache.size_bytes == 0
+
+    def test_clear(self):
+        cache = LRUCache(1024)
+        cache.put("a", cachable(b"1"))
+        cache.put("b", cachable(b"2"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.size_bytes == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(30)
+        cache.put("a", cachable(b"x" * 10))
+        cache.put("b", cachable(b"x" * 10))
+        cache.put("c", cachable(b"x" * 10))
+        cache.get("a")  # refresh a
+        cache.put("d", cachable(b"x" * 10))  # evicts b (least recent)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_size_never_exceeds_capacity(self):
+        cache = LRUCache(100)
+        for i in range(50):
+            cache.put(f"u{i}", cachable(b"x" * 30))
+            assert cache.size_bytes <= 100
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from("pgi"), st.integers(0, 9), st.integers(1, 40)),
+        max_size=60,
+    )
+)
+def test_cache_invariants(ops):
+    """Size accounting and capacity hold under arbitrary op sequences."""
+    cache = LRUCache(200)
+    for op, key_i, size in ops:
+        key = f"k{key_i}"
+        if op == "p":
+            cache.put(key, cachable(b"x" * size))
+        elif op == "g":
+            cache.get(key)
+        else:
+            cache.invalidate(key)
+        assert cache.size_bytes <= 200
+        assert cache.size_bytes == sum(
+            entry.content_length for entry in cache._entries.values()
+        )
+        assert len(cache) == len(cache._entries)

@@ -1,0 +1,61 @@
+"""Tests for the delta-unaware forward proxy."""
+
+from repro.http.messages import Request, Response
+from repro.proxy.proxy import ProxyCache
+
+
+def upstream_factory(bodies: dict[str, Response]):
+    calls = []
+
+    def upstream(request: Request, now: float) -> Response:
+        calls.append(request.url)
+        return bodies.get(request.url, Response(status=404, body=b"nf"))
+
+    return upstream, calls
+
+
+def cachable(body: bytes) -> Response:
+    response = Response(status=200, body=body)
+    response.mark_cachable()
+    return response
+
+
+class TestProxy:
+    def test_forwards_misses(self):
+        upstream, calls = upstream_factory({"u": Response(status=200, body=b"doc")})
+        proxy = ProxyCache(upstream)
+        response = proxy.handle(Request(url="u"), 0.0)
+        assert response.body == b"doc"
+        assert calls == ["u"]
+
+    def test_caches_cachable_responses(self):
+        upstream, calls = upstream_factory({"base": cachable(b"basefile")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="base"), 0.0)
+        proxy.handle(Request(url="base"), 1.0)
+        assert calls == ["base"]  # second hit served from cache
+        assert proxy.cache.stats.hits == 1
+
+    def test_uncachable_always_forwarded(self):
+        upstream, calls = upstream_factory({"doc": Response(status=200, body=b"d")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="doc"), 0.0)
+        proxy.handle(Request(url="doc"), 1.0)
+        assert len(calls) == 2
+
+    def test_stats_track_both_sides(self):
+        upstream, _ = upstream_factory({"base": cachable(b"12345")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="base"), 0.0)
+        proxy.handle(Request(url="base"), 1.0)
+        assert proxy.stats.requests == 2
+        assert proxy.stats.upstream_requests == 1
+        assert proxy.stats.upstream_bytes == 5
+        assert proxy.stats.downstream_bytes == 10
+
+    def test_non_get_bypasses_cache(self):
+        upstream, calls = upstream_factory({"base": cachable(b"basefile")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="base"), 0.0)
+        proxy.handle(Request(url="base", method="POST"), 1.0)
+        assert len(calls) == 2

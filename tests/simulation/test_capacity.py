@@ -1,0 +1,94 @@
+"""Tests for the Section VI-C capacity model."""
+
+import pytest
+
+from repro.network.link import MODEM_56K
+from repro.simulation.capacity import (
+    CostModel,
+    compare_plain_vs_delta,
+    estimate_capacity,
+    measure_delta_cost,
+)
+
+
+class TestCostModel:
+    def test_delta_system_costs_more_cpu(self):
+        cost = CostModel()
+        assert cost.cpu_ms_delta_system() > cost.cpu_ms_plain()
+
+    def test_paper_calibration(self):
+        """Defaults must land in the paper's measured ranges."""
+        cost = CostModel()
+        plain_rps = 1000 / cost.cpu_ms_plain()
+        delta_rps = 1000 / cost.cpu_ms_delta_system()
+        assert 170 <= plain_rps <= 185  # paper: 175-180 req/s
+        assert 120 <= delta_rps <= 140  # paper: ~130 req/s
+
+
+class TestEstimateCapacity:
+    def test_cpu_limit(self):
+        estimate = estimate_capacity("x", 10.0, 1000, MODEM_56K)
+        assert estimate.cpu_capacity_rps == pytest.approx(100.0)
+
+    def test_connection_limit_scales_with_hold_time(self):
+        small = estimate_capacity("s", 5.0, 1_000, MODEM_56K, max_connections=255)
+        large = estimate_capacity("l", 5.0, 50_000, MODEM_56K, max_connections=255)
+        assert small.connection_capacity_rps > large.connection_capacity_rps
+        assert small.mean_hold_seconds < large.mean_hold_seconds
+
+    def test_capacity_is_binding_constraint(self):
+        estimate = estimate_capacity("x", 5.0, 50_000, MODEM_56K)
+        assert estimate.capacity_rps == min(
+            estimate.cpu_capacity_rps, estimate.connection_capacity_rps
+        )
+
+    def test_concurrency_littles_law(self):
+        estimate = estimate_capacity("x", 5.0, 10_000, MODEM_56K)
+        assert estimate.concurrency_at(100.0) == pytest.approx(
+            100.0 * estimate.mean_hold_seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_capacity("x", 0.0, 1000, MODEM_56K)
+
+
+class TestPlainVsDelta:
+    def test_paper_shape(self):
+        """The paper's qualitative result: the delta system loses some CPU
+        capacity but sustains far more concurrent connections."""
+        plain, delta = compare_plain_vs_delta(CostModel())
+        # CPU capacity: plain ~175-180, delta ~130
+        assert plain.cpu_capacity_rps > delta.cpu_capacity_rps
+        # Small responses release connection slots quickly: throughput per
+        # connection ceiling is far higher for the delta system.
+        assert delta.connection_capacity_rps > 2 * plain.connection_capacity_rps
+        # The plain server cannot reach its CPU capacity over slow clients:
+        # its 255-connection ceiling binds first.
+        assert plain.connection_capacity_rps < plain.cpu_capacity_rps
+        # At its CPU capacity the delta system has more connections in
+        # flight than the plain server's 255-slot ceiling — the paper's
+        # "500 or more concurrent connections" effect.
+        assert delta.sustainable_concurrency > plain.max_connections
+
+    def test_plain_connection_ceiling_at_255(self):
+        plain, _ = compare_plain_vs_delta(CostModel())
+        assert plain.max_connections == 255
+
+
+class TestMeasuredDeltaCost:
+    def test_measures_real_differ(self):
+        base = (b"<p>block</p>" * 4600)[:55_000]  # ~55 KB, paper's band
+        document = base[:30_000] + b"<p>changed</p>" + base[30_500:]
+        measurement = measure_delta_cost(base, document, repetitions=3)
+        assert measurement.base_bytes == 55_000
+        assert measurement.delta_bytes < len(document) * 0.2
+        assert measurement.encode_ms > 0
+        assert measurement.compress_ms >= 0
+        assert measurement.total_ms == pytest.approx(
+            measurement.encode_ms + measurement.compress_ms
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_delta_cost(b"base", b"doc", repetitions=0)

@@ -1,0 +1,110 @@
+"""Tests for the discrete-event server simulator."""
+
+import pytest
+
+from repro.network.link import HIGH_BANDWIDTH, LAN, MODEM_56K
+from repro.simulation.des import ServerSpec, simulate_server, sweep_offered_load
+
+
+def fixed(size: int):
+    return lambda rng: size
+
+
+class TestValidation:
+    def test_server_spec(self):
+        with pytest.raises(ValueError):
+            ServerSpec(cpu_ms_per_request=0)
+        with pytest.raises(ValueError):
+            ServerSpec(cpu_ms_per_request=5, max_connections=0)
+
+    def test_simulate_args(self):
+        spec = ServerSpec(cpu_ms_per_request=5)
+        with pytest.raises(ValueError):
+            simulate_server(0, 10, spec, fixed(1000), LAN)
+        with pytest.raises(ValueError):
+            simulate_server(10, 0, spec, fixed(1000), LAN)
+
+
+class TestConservation:
+    def test_requests_conserved(self):
+        spec = ServerSpec(cpu_ms_per_request=5, max_connections=50)
+        result = simulate_server(80, 60, spec, fixed(20_000), MODEM_56K, seed=3)
+        # every arrival is either rejected, completed, or still in flight
+        in_flight = result.arrived - result.rejected - result.completed
+        assert 0 <= in_flight <= spec.max_connections
+
+    def test_determinism(self):
+        spec = ServerSpec(cpu_ms_per_request=5)
+        a = simulate_server(50, 30, spec, fixed(5_000), MODEM_56K, seed=9)
+        b = simulate_server(50, 30, spec, fixed(5_000), MODEM_56K, seed=9)
+        assert a.completed == b.completed
+        assert a.latencies == b.latencies
+
+    def test_cpu_utilization_bounded(self):
+        spec = ServerSpec(cpu_ms_per_request=5)
+        result = simulate_server(400, 30, spec, fixed(2_000), LAN, seed=2)
+        assert 0 <= result.cpu_utilization <= 1.0 + 1e-6
+
+    def test_concurrency_bounded_by_slots(self):
+        spec = ServerSpec(cpu_ms_per_request=2, max_connections=40)
+        result = simulate_server(200, 30, spec, fixed(30_000), MODEM_56K, seed=5)
+        assert result.peak_concurrency <= 40
+        assert result.mean_concurrency <= 40
+
+
+class TestCapacityBehaviour:
+    def test_light_load_no_rejections(self):
+        spec = ServerSpec(cpu_ms_per_request=5.6)
+        result = simulate_server(20, 60, spec, fixed(3_000), HIGH_BANDWIDTH, seed=1)
+        assert result.rejection_rate == 0.0
+        assert result.achieved_rps == pytest.approx(20, rel=0.15)
+
+    def test_cpu_saturation_caps_throughput(self):
+        # 10 ms CPU -> 100 rps ceiling regardless of offered load
+        spec = ServerSpec(cpu_ms_per_request=10, max_connections=10_000)
+        result = simulate_server(400, 60, spec, fixed(2_000), HIGH_BANDWIDTH, seed=1)
+        assert result.achieved_rps <= 105
+        assert result.cpu_utilization > 0.95
+
+    def test_connection_saturation_caps_throughput(self):
+        # slow clients + big responses: slots bind long before the CPU
+        spec = ServerSpec(cpu_ms_per_request=1, max_connections=100)
+        result = simulate_server(200, 60, spec, fixed(44_000), MODEM_56K, seed=1)
+        assert result.cpu_utilization < 0.3
+        assert result.rejection_rate > 0.3
+        assert result.peak_concurrency == 100
+
+    def test_latency_grows_with_load(self):
+        spec = ServerSpec(cpu_ms_per_request=6, max_connections=5_000)
+        light = simulate_server(20, 60, spec, fixed(10_000), MODEM_56K, seed=4)
+        heavy = simulate_server(140, 60, spec, fixed(10_000), MODEM_56K, seed=4)
+        assert heavy.mean_latency >= light.mean_latency
+
+    def test_paper_shape_plain_vs_delta(self):
+        """Small delta responses turn a connection-bound server into a
+        CPU-bound one with ~4x the throughput over slow clients."""
+        plain = simulate_server(
+            200, 60, ServerSpec(5.6), fixed(44_000), MODEM_56K, seed=7
+        )
+        delta = simulate_server(
+            200, 60, ServerSpec(7.7), fixed(3_000), MODEM_56K, seed=7
+        )
+        assert delta.achieved_rps > 3 * plain.achieved_rps
+        assert delta.rejection_rate < plain.rejection_rate
+
+
+class TestSweep:
+    def test_sweep_returns_one_result_per_load(self):
+        spec = ServerSpec(cpu_ms_per_request=5)
+        results = sweep_offered_load([10, 50], 20, spec, fixed(2_000), LAN)
+        assert [r.offered_rps for r in results] == [10, 50]
+
+    def test_achieved_monotone_until_saturation(self):
+        spec = ServerSpec(cpu_ms_per_request=8, max_connections=5_000)
+        results = sweep_offered_load(
+            [20, 60, 100, 180], 40, spec, fixed(2_000), HIGH_BANDWIDTH
+        )
+        achieved = [r.achieved_rps for r in results]
+        # grows with load, then flattens at the ~125 rps CPU ceiling
+        assert achieved[0] < achieved[1] < achieved[2]
+        assert achieved[3] <= 135

@@ -1,0 +1,66 @@
+"""Tests for URL partitioning — including the exact Table I examples."""
+
+import pytest
+
+from repro.url.parts import URLParts, heuristic_partition, split_server
+
+
+class TestSplitServer:
+    def test_bare_url(self):
+        assert split_server("www.foo.com/laptops?id=100") == (
+            "www.foo.com",
+            "laptops?id=100",
+        )
+
+    def test_http_scheme_stripped(self):
+        assert split_server("http://www.foo.com/x") == ("www.foo.com", "x")
+
+    def test_https_scheme_stripped(self):
+        assert split_server("https://www.foo.com/x") == ("www.foo.com", "x")
+
+    def test_no_path(self):
+        assert split_server("www.foo.com") == ("www.foo.com", "")
+
+    def test_empty_server_rejected(self):
+        with pytest.raises(ValueError):
+            split_server("/path/only")
+
+
+class TestTableOne:
+    """The three rows of paper Table I, verbatim."""
+
+    def test_path_query_style(self):
+        parts = heuristic_partition("www.foo.com/laptops?id=100")
+        assert parts == URLParts("www.foo.com", "laptops", "id=100")
+
+    def test_query_only_style(self):
+        parts = heuristic_partition("www.foo.com/?dept=laptops&id=100")
+        assert parts == URLParts("www.foo.com", "dept=laptops", "id=100")
+
+    def test_path_only_style(self):
+        parts = heuristic_partition("www.foo.com/laptops/100")
+        assert parts == URLParts("www.foo.com", "laptops", "100")
+
+
+class TestHeuristicPartition:
+    def test_deep_path(self):
+        parts = heuristic_partition("www.foo.com/a/b/c?q=1")
+        assert parts.hint == "a"
+        assert parts.rest == "b/c&q=1"
+
+    def test_root_url(self):
+        parts = heuristic_partition("www.foo.com/")
+        assert parts == URLParts("www.foo.com", "", "")
+
+    def test_query_single_param(self):
+        parts = heuristic_partition("www.foo.com/?page=home")
+        assert parts == URLParts("www.foo.com", "page=home", "")
+
+    def test_key_property(self):
+        parts = heuristic_partition("www.foo.com/laptops?id=1")
+        assert parts.key == ("www.foo.com", "laptops")
+
+    def test_different_servers_different_keys(self):
+        a = heuristic_partition("www.a.com/x?id=1")
+        b = heuristic_partition("www.b.com/x?id=1")
+        assert a.key != b.key

@@ -1,0 +1,65 @@
+"""Tests for admin-provided URL partitioning rules."""
+
+import pytest
+
+from repro.url.parts import URLParts
+from repro.url.rules import HintRule, RuleBook
+
+
+class TestHintRule:
+    def test_requires_hint_group(self):
+        with pytest.raises(ValueError):
+            HintRule(r"(?P<other>\w+)")
+
+    def test_hint_and_rest_groups(self):
+        rule = HintRule(r"(?P<hint>[^/?]+)\?(?P<rest>.*)")
+        parts = rule.apply("www.foo.com", "laptops?id=100")
+        assert parts == URLParts("www.foo.com", "laptops", "id=100")
+
+    def test_rest_defaults_to_tail(self):
+        rule = HintRule(r"shop/(?P<hint>\w+)/")
+        parts = rule.apply("www.foo.com", "shop/laptops/item42")
+        assert parts == URLParts("www.foo.com", "laptops", "item42")
+
+    def test_no_match_returns_none(self):
+        rule = HintRule(r"shop/(?P<hint>\w+)")
+        assert rule.apply("www.foo.com", "blog/post/1") is None
+
+
+class TestRuleBook:
+    def test_rule_applied_for_matching_server(self):
+        book = RuleBook()
+        book.add_rule("www.foo.com", r"catalog/(?P<hint>\w+)\?(?P<rest>.*)")
+        parts = book.partition("www.foo.com/catalog/laptops?id=9")
+        assert parts == URLParts("www.foo.com", "laptops", "id=9")
+
+    def test_falls_back_to_heuristic_when_no_rules(self):
+        book = RuleBook()
+        parts = book.partition("www.bar.com/laptops?id=100")
+        assert parts == URLParts("www.bar.com", "laptops", "id=100")
+
+    def test_falls_back_when_rules_do_not_match(self):
+        book = RuleBook()
+        book.add_rule("www.foo.com", r"catalog/(?P<hint>\w+)")
+        parts = book.partition("www.foo.com/laptops?id=100")
+        assert parts == URLParts("www.foo.com", "laptops", "id=100")
+
+    def test_rules_tried_in_order(self):
+        book = RuleBook()
+        book.add_rule("www.foo.com", r"(?P<hint>first)/")
+        book.add_rule("www.foo.com", r"(?P<hint>\w+)/")
+        parts = book.partition("www.foo.com/first/x")
+        assert parts.hint == "first"
+
+    def test_rules_scoped_per_server(self):
+        book = RuleBook()
+        book.add_rule("www.foo.com", r"x/(?P<hint>\w+)")
+        parts = book.partition("www.other.com/x/abc")
+        # other.com has no rules: heuristic takes first segment
+        assert parts.hint == "x"
+
+    def test_rules_for(self):
+        book = RuleBook()
+        book.add_rule("www.foo.com", r"(?P<hint>\w+)")
+        assert len(book.rules_for("www.foo.com")) == 1
+        assert book.rules_for("www.none.com") == []

@@ -1,0 +1,54 @@
+"""Property-based tests for URL partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.url.parts import heuristic_partition, split_server
+
+# URL-safe path/query fragments
+segment = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_.", min_size=1, max_size=12
+)
+server = st.builds(lambda a, b: f"www.{a}.{b}", segment, segment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(server=server, path=st.lists(segment, max_size=4), query=st.lists(
+    st.tuples(segment, segment), max_size=3
+))
+def test_partition_total_and_consistent(server, path, query):
+    """Any well-formed URL partitions without error, and the server-part is
+    recovered exactly."""
+    url = server
+    if path or query:
+        url += "/" + "/".join(path)
+    if query:
+        url += "?" + "&".join(f"{k}={v}" for k, v in query)
+    parts = heuristic_partition(url)
+    assert parts.server == server
+    # hint and rest are substrings of the original URL (no invention)
+    if parts.hint and "=" not in parts.hint:
+        assert parts.hint in url
+    assert parts.key[0] == server
+
+
+@settings(max_examples=100, deadline=None)
+@given(server=server, tail=st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_./?&=", max_size=30
+))
+def test_split_server_roundtrip(server, tail):
+    url = f"{server}/{tail}"
+    got_server, remainder = split_server(url)
+    assert got_server == server
+    assert url == f"{got_server}/{remainder}"
+
+
+@settings(max_examples=50, deadline=None)
+@given(server=server, tail=st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_./?&=", max_size=30
+))
+def test_schemes_are_transparent(server, tail):
+    bare = f"{server}/{tail}"
+    for scheme in ("http://", "https://"):
+        assert split_server(scheme + bare) == split_server(bare)
+        assert heuristic_partition(scheme + bare) == heuristic_partition(bare)

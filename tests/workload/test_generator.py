@@ -1,0 +1,133 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.workload.generator import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SyntheticSite(SiteSpec(name="www.w.example", products_per_category=5))
+
+
+def spec(**kwargs) -> WorkloadSpec:
+    defaults = dict(name="t", requests=300, users=10, duration=600.0, seed=7)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_bad_requests(self):
+        with pytest.raises(ValueError):
+            spec(requests=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            spec(revisit_bias=1.5)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            spec(duration=0)
+
+
+class TestGeneration:
+    def test_request_count(self, site):
+        workload = generate_workload([site], spec())
+        assert len(workload.trace) == 300
+
+    def test_timestamps_monotone_within_duration(self, site):
+        workload = generate_workload([site], spec())
+        times = [r.timestamp for r in workload.trace]
+        assert times == sorted(times)
+        assert times[-1] <= 600.0 + 1e-6
+
+    def test_urls_parse_back(self, site):
+        workload = generate_workload([site], spec())
+        for record in workload.trace:
+            site.parse_url(record.url)  # raises on malformed
+
+    def test_users_within_roster(self, site):
+        workload = generate_workload([site], spec(users=5))
+        assert len(workload.trace.users) <= 5
+
+    def test_deterministic(self, site):
+        a = generate_workload([site], spec())
+        b = generate_workload([site], spec())
+        assert a.trace.records == b.trace.records
+        assert a.logged_in_users == b.logged_in_users
+        assert a.shared_card_groups == b.shared_card_groups
+
+    def test_seed_changes_trace(self, site):
+        a = generate_workload([site], spec(seed=1))
+        b = generate_workload([site], spec(seed=2))
+        assert a.trace.records != b.trace.records
+
+    def test_revisit_bias_concentrates_urls(self, site):
+        low = generate_workload([site], spec(revisit_bias=0.0, requests=600))
+        high = generate_workload([site], spec(revisit_bias=0.9, requests=600))
+        assert len(high.trace.urls) <= len(low.trace.urls)
+
+    def test_zipf_concentration(self, site):
+        workload = generate_workload(
+            [site], spec(requests=2000, revisit_bias=0.0, zipf_alpha=1.2)
+        )
+        from collections import Counter
+
+        counts = Counter(r.url for r in workload.trace).most_common()
+        top_share = sum(c for _, c in counts[:3]) / 2000
+        assert top_share > 0.25  # hot documents dominate
+
+    def test_shared_card_groups_subset_of_logged_in(self, site):
+        workload = generate_workload(
+            [site], spec(shared_card_fraction=0.5, logged_in_fraction=0.5)
+        )
+        assert set(workload.shared_card_groups) <= workload.logged_in_users
+
+    def test_multiple_sites(self):
+        sites = [
+            SyntheticSite(SiteSpec(name=f"www.s{i}.example", products_per_category=3))
+            for i in range(3)
+        ]
+        workload = generate_workload(sites, spec())
+        servers = {r.url.split("/")[0] for r in workload.trace}
+        assert len(servers) == 3
+
+    def test_no_sites_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload([], spec())
+
+
+class TestSessionUrls:
+    def test_logged_in_urls_carry_session_token(self, site):
+        workload = generate_workload(
+            [site], spec(session_urls=True, logged_in_fraction=1.0)
+        )
+        assert all("sid=" in r.url for r in workload.trace)
+
+    def test_session_token_matches_user(self, site):
+        workload = generate_workload(
+            [site], spec(session_urls=True, logged_in_fraction=1.0)
+        )
+        for record in workload.trace:
+            assert record.url.endswith(f"sid={record.user}")
+
+    def test_session_urls_still_parse(self, site):
+        workload = generate_workload(
+            [site], spec(session_urls=True, logged_in_fraction=1.0)
+        )
+        for record in workload.trace:
+            site.parse_url(record.url)
+
+    def test_anonymous_users_get_plain_urls(self, site):
+        workload = generate_workload(
+            [site], spec(session_urls=True, logged_in_fraction=0.0)
+        )
+        assert all("sid=" not in r.url for r in workload.trace)
+
+    def test_distinct_documents_per_user(self, site):
+        plain = generate_workload([site], spec(session_urls=False))
+        session = generate_workload(
+            [site], spec(session_urls=True, logged_in_fraction=1.0)
+        )
+        assert len(session.trace.urls) >= len(plain.trace.urls)

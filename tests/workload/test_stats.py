@@ -1,0 +1,79 @@
+"""Tests for trace statistics and the Zipf-exponent fit."""
+
+import random
+
+import pytest
+
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.workload.generator import WorkloadSpec, generate_workload
+from repro.workload.stats import analyze_trace, fit_zipf_alpha
+from repro.workload.trace import Trace, TraceRecord
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfFit:
+    def test_perfect_zipf_recovered(self):
+        # rank-frequency drawn exactly from 1/rank^alpha
+        for alpha in (0.6, 1.0, 1.4):
+            frequencies = [
+                round(100_000 / (rank + 1) ** alpha) for rank in range(50)
+            ]
+            assert fit_zipf_alpha(frequencies) == pytest.approx(alpha, abs=0.05)
+
+    def test_uniform_gives_zero(self):
+        assert fit_zipf_alpha([100] * 20) == pytest.approx(0.0, abs=0.01)
+
+    def test_degenerate_inputs(self):
+        assert fit_zipf_alpha([]) == 0.0
+        assert fit_zipf_alpha([42]) == 0.0
+
+    def test_sampled_zipf_recovered(self):
+        rng = random.Random(5)
+        sampler = ZipfSampler(40, alpha=0.9, rng=rng)
+        from collections import Counter
+
+        counts = Counter(sampler.sample_many(50_000))
+        frequencies = sorted(counts.values(), reverse=True)
+        assert fit_zipf_alpha(frequencies) == pytest.approx(0.9, abs=0.15)
+
+
+class TestAnalyzeTrace:
+    def test_empty_trace(self):
+        stats = analyze_trace(Trace(name="empty"))
+        assert stats.requests == 0
+        assert stats.zipf_alpha == 0.0
+
+    def test_counts(self):
+        trace = Trace(
+            name="t",
+            records=[
+                TraceRecord(0.0, "u1", "a"),
+                TraceRecord(1.0, "u1", "a"),
+                TraceRecord(2.0, "u2", "b"),
+            ],
+        )
+        stats = analyze_trace(trace)
+        assert stats.requests == 3
+        assert stats.distinct_urls == 2
+        assert stats.distinct_users == 2
+        assert stats.top_url_share == pytest.approx(2 / 3)
+        assert stats.requests_per_pair == pytest.approx(3 / 2)
+
+    def test_generated_trace_matches_spec_alpha(self):
+        site = SyntheticSite(
+            SiteSpec(name="www.stats.example", products_per_category=20)
+        )
+        workload = generate_workload(
+            [site],
+            WorkloadSpec(
+                name="s",
+                requests=8000,
+                users=30,
+                duration=3600.0,
+                revisit_bias=0.0,  # pure Zipf draws
+                zipf_alpha=1.0,
+            ),
+        )
+        stats = analyze_trace(workload.trace)
+        assert stats.zipf_alpha == pytest.approx(1.0, abs=0.25)
+        assert stats.requests == 8000

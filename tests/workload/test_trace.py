@@ -1,0 +1,69 @@
+"""Tests for the trace format and file round-trip."""
+
+import pytest
+
+from repro.workload.trace import Trace, TraceRecord
+
+
+class TestTraceRecord:
+    def test_line_roundtrip(self):
+        record = TraceRecord(timestamp=12.5, user="u1", url="www.a.com/x?id=1")
+        assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("only two\tfields")
+
+
+class TestTrace:
+    def _trace(self):
+        return Trace(
+            name="t",
+            records=[
+                TraceRecord(1.0, "u1", "www.a.com/x?id=1"),
+                TraceRecord(3.0, "u2", "www.a.com/x?id=2"),
+                TraceRecord(2.0, "u1", "www.a.com/x?id=1"),
+            ],
+        )
+
+    def test_len_and_iter(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_duration(self):
+        assert self._trace().duration == pytest.approx(1.0)  # 3.0 - 1.0? no: last - first
+        # records are in insertion order; duration = last.ts - first.ts
+        sorted_trace = self._trace().sorted()
+        assert sorted_trace.duration == pytest.approx(2.0)
+
+    def test_users_and_urls(self):
+        trace = self._trace()
+        assert trace.users == {"u1", "u2"}
+        assert trace.urls == {"www.a.com/x?id=1", "www.a.com/x?id=2"}
+
+    def test_sorted_is_stable_copy(self):
+        trace = self._trace()
+        ordered = trace.sorted()
+        assert [r.timestamp for r in ordered] == [1.0, 2.0, 3.0]
+        assert [r.timestamp for r in trace] == [1.0, 3.0, 2.0]  # original intact
+
+    def test_empty_trace(self):
+        trace = Trace(name="empty")
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        assert trace.users == set()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.log"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "t"
+        assert loaded.records == trace.records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text("# comment\n\n1.000\tu1\twww.a.com/x\n")
+        loaded = Trace.load(path)
+        assert len(loaded) == 1

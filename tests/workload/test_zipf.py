@@ -1,0 +1,70 @@
+"""Tests for Zipf-like sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, alpha=-1)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, alpha=0.8)
+        total = sum(sampler.probability(i) for i in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        sampler = ZipfSampler(20, alpha=0.8)
+        probs = [sampler.probability(i) for i in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, alpha=0.0)
+        for i in range(10):
+            assert sampler.probability(i) == pytest.approx(0.1)
+
+    def test_rank_out_of_range(self):
+        sampler = ZipfSampler(5)
+        with pytest.raises(IndexError):
+            sampler.probability(5)
+
+    def test_empirical_distribution_matches(self):
+        rng = random.Random(42)
+        sampler = ZipfSampler(10, alpha=1.0, rng=rng)
+        counts = Counter(sampler.sample_many(30_000))
+        # rank 0 should be drawn about 1/(H_10) of the time
+        expected = sampler.probability(0)
+        observed = counts[0] / 30_000
+        assert observed == pytest.approx(expected, rel=0.1)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(7, rng=random.Random(1))
+        assert all(0 <= s < 7 for s in sampler.sample_many(1000))
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(20, rng=random.Random(9)).sample_many(50)
+        b = ZipfSampler(20, rng=random.Random(9)).sample_many(50)
+        assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    alpha=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+def test_zipf_cdf_well_formed(n, alpha):
+    sampler = ZipfSampler(n, alpha, rng=random.Random(0))
+    assert sampler._cdf[-1] == 1.0
+    assert all(
+        sampler._cdf[i] <= sampler._cdf[i + 1] for i in range(len(sampler._cdf) - 1)
+    )
+    assert 0 <= sampler.sample() < n
