@@ -1,0 +1,159 @@
+"""Section VI-C live — plain vs delta serving over real loopback sockets.
+
+The other capacity benchmark (``bench_capacity.py``) regenerates the
+paper's numbers from the calibrated cost model; this one actually runs
+the :mod:`repro.serve` stack — asyncio listener, HTTP/1.1 wire, worker
+pool, the 255-connection ceiling — and replays the same trace against
+``mode=plain`` and ``mode=delta`` servers with the closed-loop load
+generator, verifying every byte client-side.
+
+Two readings come out of it:
+
+* **live loopback throughput** — requests/s and latency percentiles the
+  stack sustains on this machine.  The paper's ordering (plain faster in
+  raw req/s: 175-180 vs ~130, a 1.35x gap) holds qualitatively; our gap
+  is wider because a pure-Python differ costs more relative to a
+  pure-Python origin render than Vdelta did relative to Apache.
+* **modeled modem capacity at the connection ceiling** — the paper's
+  actual headline is that small responses release connection slots
+  quickly, so the delta configuration sustains 500+ concurrent modem
+  clients against plain Apache's 255.  We take each mode's *measured
+  mean on-wire document response* from the live run, model its 56K-modem
+  hold time, and compute how many requests/s 255 slots can carry: the
+  ordering flips in delta's favour, reproducing Fig. 8's shape.
+"""
+
+import asyncio
+
+from _util import emit, once, scale_factor, scaled
+
+from repro.core.config import AnonymizationConfig, DeltaServerConfig
+from repro.metrics import render_table
+from repro.network import MODEM_56K
+from repro.network.tcp import transfer_time
+from repro.origin import SiteSpec, SyntheticSite
+from repro.serve import PAPER_CONNECTION_LIMIT, LoadGenConfig, LoadGenerator, build_server
+from repro.workload import WorkloadSpec, generate_workload
+
+SITE = "www.live.example"
+CONCURRENCY = 8
+
+
+def make_site() -> SyntheticSite:
+    return SyntheticSite(SiteSpec(name=SITE, products_per_category=5))
+
+
+def make_trace():
+    return generate_workload(
+        [make_site()],
+        WorkloadSpec(
+            name="serve-capacity",
+            requests=scaled(600),
+            users=24,
+            duration=120.0,
+            revisit_bias=0.6,
+            seed=42,
+        ),
+    ).trace
+
+
+async def _measure(mode: str, trace):
+    config = DeltaServerConfig(
+        anonymization=AnonymizationConfig(enabled=True, documents=3, min_count=1)
+    )
+    server = build_server(
+        [make_site()],
+        mode=mode,
+        config=config,
+        max_connections=PAPER_CONNECTION_LIMIT,
+    )
+    async with server:
+        host, port = server.address
+        generator = LoadGenerator(
+            LoadGenConfig(host=host, port=port, mode="closed", concurrency=CONCURRENCY)
+        )
+        if mode == "delta":
+            # Warm-up pass: form classes, drive anonymization to READY,
+            # and seed the client-side base cache — the steady state the
+            # paper measures.  The second pass is the measurement.
+            await generator.run(trace)
+        return await generator.run(trace)
+
+
+def run_mode(mode: str, trace):
+    return asyncio.run(_measure(mode, trace))
+
+
+def modem_capacity_rps(mean_wire_bytes: float) -> tuple[float, float]:
+    """(hold seconds, conn-limited req/s) for one response on a 56K modem."""
+    hold = transfer_time(int(mean_wire_bytes), MODEM_56K).total
+    return hold, PAPER_CONNECTION_LIMIT / hold if hold > 0 else float("inf")
+
+
+def bench_live_capacity(benchmark):
+    trace = make_trace()
+
+    def experiment():
+        plain = run_mode("plain", trace)
+        delta = run_mode("delta", trace)
+        return plain, delta
+
+    plain, delta = once(benchmark, experiment)
+
+    plain_hold, plain_cap = modem_capacity_rps(plain.mean_document_wire_bytes)
+    delta_hold, delta_cap = modem_capacity_rps(delta.mean_document_wire_bytes)
+
+    rows = []
+    for label, report, hold, cap in (
+        ("plain", plain, plain_hold, plain_cap),
+        ("delta", delta, delta_hold, delta_cap),
+    ):
+        rows.append(
+            [
+                label,
+                f"{report.rps:.0f}",
+                f"{report.latency_ms(50):.1f}",
+                f"{report.latency_ms(99):.1f}",
+                f"{report.mean_document_wire_bytes / 1024:.1f} KB",
+                f"{report.deltas} / {report.fulls}",
+                f"{hold:.2f} s",
+                f"{cap:.0f}",
+            ]
+        )
+    table = render_table(
+        [
+            "mode",
+            "live req/s",
+            "p50 ms",
+            "p99 ms",
+            "mean doc wire",
+            "deltas / fulls",
+            "modem hold",
+            f"modem req/s @ {PAPER_CONNECTION_LIMIT} conns",
+        ],
+        rows,
+        title=(
+            "live serving capacity over loopback sockets "
+            f"(closed loop, {CONCURRENCY} workers, {len(trace)} requests; "
+            "paper: plain 175-180 req/s vs delta ~130, but delta sustains "
+            "500+ modem connections)"
+        ),
+    )
+    emit("serve_capacity", table)
+
+    # Correctness first: every response verified client-side in both modes.
+    assert plain.verify_failures == 0 and delta.verify_failures == 0
+    assert plain.errors == 0 and delta.errors == 0
+    assert delta.deltas > 0, "delta mode never served a delta"
+    # Bandwidth: delta mode moves fewer document bytes on the wire.
+    assert delta.document_wire_bytes < plain.document_wire_bytes
+    # Raw throughput ordering (paper: moderate loss; ours is larger since
+    # the pure-Python differ is expensive relative to the origin render).
+    assert plain.rps > delta.rps > 0.02 * plain.rps
+    if scale_factor() >= 0.5:
+        # The quantitative claims need enough requests for anonymization
+        # to ready the hot classes and deltas to dominate the mix.
+        assert delta.document_wire_bytes < 0.7 * plain.document_wire_bytes
+        # The paper's headline: at the connection ceiling, small responses
+        # release slots quickly — delta sustains more modem clients.
+        assert delta_cap > plain_cap

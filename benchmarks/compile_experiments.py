@@ -90,6 +90,21 @@ SECTIONS: list[tuple[str, str, list[str]]] = [
         ["capacity_delta_cost", "capacity_comparison", "capacity_des_sweep"],
     ),
     (
+        "§VI-C live — real-socket serving (repro.serve)",
+        "The same comparison run for real: the delta-server engine behind "
+        "an asyncio HTTP/1.1 listener (255-connection ceiling, worker-pool "
+        "offload), a closed-loop load generator replaying one trace against "
+        "plain and delta servers over loopback, every response verified "
+        "byte-for-byte client-side.  Paper shape holds: plain wins raw "
+        "req/s (its 1.35× gap is wider here — a pure-Python differ costs "
+        "more relative to the origin render than Vdelta did relative to "
+        "Apache), while the modeled 56K-modem hold time of each mode's "
+        "measured mean on-wire response flips the connection-limited "
+        "capacity in delta's favour — the 'sustains 500+ connections' "
+        "headline.",
+        ["serve_capacity"],
+    ),
+    (
         "§IV & §V — closed-form bounds",
         "The paper's worked examples reproduce to the printed precision: "
         "P_error ≤ 8·10⁻¹¹ for (N=1000, K=10); privacy bound 4.7·10⁻⁷ vs "

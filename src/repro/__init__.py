@@ -21,7 +21,8 @@ Subpackages: :mod:`repro.core` (the paper's contribution),
 :mod:`repro.delta`, :mod:`repro.url`, :mod:`repro.http`,
 :mod:`repro.origin`, :mod:`repro.client`, :mod:`repro.proxy`,
 :mod:`repro.network`, :mod:`repro.workload`, :mod:`repro.analysis`,
-:mod:`repro.metrics`, :mod:`repro.simulation`.
+:mod:`repro.metrics`, :mod:`repro.simulation`, :mod:`repro.serve`
+(the engine behind real asyncio sockets).
 """
 
 from __future__ import annotations

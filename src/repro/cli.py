@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli replay trace.log
     python -m repro.cli delta base.html current.html
     python -m repro.cli capacity
+    python -m repro.cli serve --port 8707
+    python -m repro.cli loadgen trace.log --port 8707
 
 The CLI drives the same public API the examples use; it exists so the
 system can be exercised from a shell (and from scripts) without writing
@@ -15,6 +17,9 @@ Python.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 import sys
 from pathlib import Path
 
@@ -160,6 +165,82 @@ def cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import build_server
+
+    site = _build_site(args)
+    config = DeltaServerConfig(
+        anonymization=AnonymizationConfig(documents=args.anon_n, min_count=args.anon_m)
+    )
+
+    async def run() -> int:
+        server = build_server(
+            [site],
+            mode=args.mode,
+            config=config,
+            origin_latency=args.origin_latency,
+            executor_kind=args.executor,
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            request_timeout=args.request_timeout,
+        )
+        async with server:
+            host, port = server.address
+            print(
+                f"listening on {host}:{port} "
+                f"(mode={args.mode}, slots={args.max_connections})",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                # ValueError/RuntimeError: not on the main thread (tests
+                # run the command in a worker thread); serve without
+                # signal handling there.
+                with contextlib.suppress(
+                    NotImplementedError, ValueError, RuntimeError
+                ):
+                    loop.add_signal_handler(sig, stop.set)
+            serving = asyncio.ensure_future(server.serve_forever())
+            try:
+                while not stop.is_set():
+                    if (
+                        args.max_requests is not None
+                        and server.stats.requests >= args.max_requests
+                    ):
+                        break
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(stop.wait(), 0.2)
+            finally:
+                serving.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await serving
+            print(server.stats.render(server.clock()), flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import LoadGenConfig, LoadGenerator
+
+    trace = Trace.load(args.trace)
+    config = LoadGenConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        max_requests=args.requests,
+        request_timeout=args.timeout,
+        verify=not args.no_verify,
+    )
+    report = asyncio.run(LoadGenerator(config).run(trace))
+    print(report.render())
+    return 1 if report.verify_failures else 0
+
+
 def _add_site_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--site", default=DEFAULT_SITE, help="server-part")
     parser.add_argument(
@@ -206,6 +287,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     capacity = sub.add_parser("capacity", help="print the capacity comparison")
     capacity.set_defaults(func=cmd_capacity)
+
+    serve = sub.add_parser("serve", help="run the live delta-server over TCP")
+    _add_site_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8707, help="0 picks an ephemeral port")
+    serve.add_argument("--mode", default="delta", choices=["delta", "plain"])
+    serve.add_argument("--max-connections", type=int, default=255,
+                       help="connection-slot ceiling (paper: 255)")
+    serve.add_argument("--request-timeout", type=float, default=30.0)
+    serve.add_argument("--executor", default="thread", choices=["thread", "sync"],
+                       help="where delta generation runs")
+    serve.add_argument("--origin-latency", type=float, default=0.0,
+                       help="injected origin fetch latency, seconds")
+    serve.add_argument("--anon-n", type=int, default=3, help="anonymization N")
+    serve.add_argument("--anon-m", type=int, default=1, help="anonymization M")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="exit after serving this many requests")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser("loadgen", help="replay a trace against a live server")
+    loadgen.add_argument("trace")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8707)
+    loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                        help="open loop: Poisson arrival rate, req/s")
+    loadgen.add_argument("--requests", type=int, default=None,
+                         help="replay at most this many trace records")
+    loadgen.add_argument("--timeout", type=float, default=15.0)
+    loadgen.add_argument("--no-verify", action="store_true",
+                         help="skip client-side body-digest verification")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

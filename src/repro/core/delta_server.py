@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -96,6 +97,14 @@ class DeltaServer:
     ) -> None:
         self.config = config or DeltaServerConfig()
         self._origin_fetch = origin_fetch
+        # One engine instance may be driven from many threads (the live
+        # asyncio server offloads `handle` to a worker pool).  The class
+        # map, base-file stores, and counters are mutated per request, so
+        # requests serialize on this lock — the single-writer discipline
+        # the paper's single-CPU delta-server implies.  Concurrency above
+        # the engine (connection handling, I/O) stays parallel; see
+        # repro.serve for the layering.
+        self._lock = threading.Lock()
         self._rng = random.Random(self.config.seed)
         self._encoder = VdeltaEncoder()
         self._estimator = LightEstimator()
@@ -140,7 +149,15 @@ class DeltaServer:
     # -- request handling ----------------------------------------------------------
 
     def handle(self, request: Request, now: float) -> Response:
-        """Process one client (or proxy-forwarded) request."""
+        """Process one client (or proxy-forwarded) request.
+
+        Thread-safe: concurrent callers serialize on the engine lock (the
+        whole request pipeline mutates shared class state).
+        """
+        with self._lock:
+            return self._handle_locked(request, now)
+
+    def _handle_locked(self, request: Request, now: float) -> Response:
         base_file = self._parse_base_file_url(request.url)
         if base_file is not None:
             return self._serve_base_file(*base_file)
@@ -174,10 +191,11 @@ class DeltaServer:
 
     def class_of(self, url: str) -> DocumentClass | None:
         """The class a URL has been grouped into, if any (diagnostics)."""
-        for cls in self.grouper.classes:
-            if url in cls.members:
-                return cls
-        return None
+        with self._lock:
+            for cls in self.grouper.classes:
+                if url in cls.members:
+                    return cls
+            return None
 
     # -- internals ---------------------------------------------------------------
 
@@ -272,18 +290,29 @@ class DeltaServer:
 
     # -- base-file distribution -------------------------------------------------------
 
-    def _parse_base_file_url(self, url: str) -> tuple[str, int] | None:
-        """Recognize ``<server>/__delta_base__/<class_id>/<version>`` URLs."""
+    @staticmethod
+    def _parse_base_file_url(url: str) -> tuple[str, int] | None:
+        """Recognize ``<server>/__delta_base__/<class_id>/<version>`` URLs.
+
+        Malformed shapes (missing version, non-integer or negative version,
+        empty class id) return ``None`` — the URL then flows down the
+        ordinary document path instead of crashing the request.  The live
+        server feeds this attacker-controlled bytes, so it must be total.
+        """
         parts = url.split("/")
         if BASE_FILE_SEGMENT not in parts:
             return None
         i = parts.index(BASE_FILE_SEGMENT)
         if i + 2 >= len(parts):
+            return None  # missing class id and/or version
+        class_id, version = parts[i + 1], parts[i + 2]
+        if not class_id:
             return None
-        try:
-            return parts[i + 1], int(parts[i + 2])
-        except ValueError:
+        # isascii + isdigit rejects "", "-1", "1.5", "1e3", and unicode
+        # digit lookalikes that int() would reject or misread.
+        if not version.isascii() or not version.isdigit():
             return None
+        return class_id, int(version)
 
     def _serve_base_file(self, class_id: str, version: int) -> Response:
         try:

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from repro.metrics.collector import BandwidthReport, SizeSample
+from repro.metrics.collector import BandwidthReport, LatencySample, SizeSample
 from repro.metrics.report import fmt_factor, fmt_kb, fmt_pct, render_table
 
 __all__ = [
     "BandwidthReport",
+    "LatencySample",
     "SizeSample",
     "fmt_factor",
     "fmt_kb",

@@ -60,6 +60,36 @@ class BandwidthReport:
 
 
 @dataclass(slots=True)
+class LatencySample:
+    """Accumulates a distribution of durations (seconds) for percentiles.
+
+    The float twin of :class:`SizeSample`; the live serving layer
+    (:mod:`repro.serve`) records per-request wall-clock latencies here and
+    reports the p50/p90/p99 figures the capacity experiments compare.
+    """
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
+        return ordered[rank]
+
+
+@dataclass(slots=True)
 class SizeSample:
     """Accumulates a distribution of sizes (delta sizes, doc sizes, ...)."""
 

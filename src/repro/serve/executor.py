@@ -1,0 +1,75 @@
+"""Offload blocking work (delta generation, rendering) off the event loop.
+
+The Vdelta differ costs milliseconds per delta (the paper's 6–8 ms,
+Section VI-C); run inline it would stall every other connection on the
+asyncio loop.  :class:`DeltaExecutor` pushes those calls onto a worker
+pool so the loop only ever awaits.
+
+Three kinds:
+
+* ``thread`` (default) — a ``ThreadPoolExecutor``.  The delta-server
+  engine is shared mutable state guarded by its own lock, so threads are
+  the right vehicle: requests serialize on the engine (the paper's
+  single-CPU server) while connection I/O stays fully concurrent.  The
+  pure-Python differ holds the GIL while encoding, so threads do not add
+  CPU parallelism — they buy loop responsiveness, which is what the
+  ceiling-bound capacity experiment needs.
+* ``process`` — a ``ProcessPoolExecutor`` for *stateless, picklable*
+  jobs (e.g. raw ``make_delta`` calls).  A future sharded engine can use
+  it for true CPU parallelism; the shared class-map engine cannot be
+  shipped across process boundaries.
+* ``sync`` — run inline.  Fallback for environments without worker
+  threads and for deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+KINDS = ("thread", "process", "sync")
+
+
+class DeltaExecutor:
+    """Awaitable bridge from the event loop to a worker pool."""
+
+    def __init__(self, kind: str = "thread", max_workers: int | None = None) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"executor kind must be one of {KINDS}, got {kind!r}")
+        self.kind = kind
+        if kind == "thread":
+            self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = (
+                ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="delta")
+            )
+        elif kind == "process":
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        else:
+            self._pool = None
+
+    async def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)`` off-loop and await its result.
+
+        In ``sync`` mode the call runs inline (blocking the loop) — the
+        documented fallback, not the serving configuration.
+        """
+        if self._pool is None:
+            return fn(*args, **kwargs)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, functools.partial(fn, *args, **kwargs)
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "DeltaExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"DeltaExecutor(kind={self.kind!r})"

@@ -1,0 +1,101 @@
+"""Async bridge between the serving layer and an origin site instance.
+
+In Fig. 2 the delta-server sits *next to* the origin web-server; this
+gateway is that adjacency for the live stack: it hands requests to a
+:class:`~repro.origin.server.OriginServer` and exposes two injection
+points for robustness testing:
+
+* **latency** — a fixed floor plus uniform jitter per fetch, modelling a
+  backend that is not colocated (drives the per-request-timeout path in
+  :mod:`repro.serve.server`);
+* **fault hook** — a callable that may substitute an error response for
+  any request (drives the passthrough/5xx paths without touching the
+  origin).
+
+``fetch_sync`` is the flavour the :class:`DeltaServer` engine consumes as
+its ``origin_fetch`` (it runs on executor worker threads, so it may
+``time.sleep``); ``fetch`` is the awaitable flavour used when the serving
+layer bypasses the engine (plain mode health checks, tests).  Origin
+access is serialized on an internal lock: the synthetic renderer and its
+stats counters are not thread-safe, and a single-CPU origin is exactly
+the paper's testbed shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.http.messages import Request, Response
+from repro.origin.server import OriginServer
+
+#: May return a Response to inject in place of the origin's (fault), or
+#: None to let the request through.
+FaultHook = Callable[[Request], Response | None]
+
+
+@dataclass(slots=True)
+class GatewayStats:
+    """Counters for the origin bridge."""
+
+    fetches: int = 0
+    faults_injected: int = 0
+    injected_latency_seconds: float = 0.0
+
+
+class OriginGateway:
+    """Thread-safe, fault-injectable access to one origin server."""
+
+    def __init__(
+        self,
+        origin: OriginServer,
+        *,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        fault_hook: FaultHook | None = None,
+        seed: int = 7,
+    ) -> None:
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        self.origin = origin
+        self.latency = latency
+        self.jitter = jitter
+        self.fault_hook = fault_hook
+        self.stats = GatewayStats()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def _draw_delay(self) -> float:
+        with self._lock:
+            if self.jitter:
+                return self.latency + self._rng.random() * self.jitter
+            return self.latency
+
+    def _complete(self, request: Request, now: float, delay: float) -> Response:
+        with self._lock:
+            self.stats.fetches += 1
+            self.stats.injected_latency_seconds += delay
+            if self.fault_hook is not None:
+                injected = self.fault_hook(request)
+                if injected is not None:
+                    self.stats.faults_injected += 1
+                    return injected
+            return self.origin.handle(request, now)
+
+    def fetch_sync(self, request: Request, now: float) -> Response:
+        """Blocking fetch — the engine's ``origin_fetch`` (worker threads)."""
+        delay = self._draw_delay()
+        if delay:
+            time.sleep(delay)
+        return self._complete(request, now, delay)
+
+    async def fetch(self, request: Request, now: float) -> Response:
+        """Awaitable fetch for loop-side callers."""
+        delay = self._draw_delay()
+        if delay:
+            await asyncio.sleep(delay)
+        return self._complete(request, now, delay)

@@ -1,0 +1,467 @@
+"""Async load generator: replay ``repro.workload`` traces over live HTTP.
+
+The client side of the live capacity experiment (Section VI-C).  Replays
+a :class:`~repro.workload.trace.Trace` against a running
+:class:`~repro.serve.server.DeltaHTTPServer`, acting as the whole client
+population at once: per-user base-file bookkeeping (which base each user
+holds for each URL), a shared base-file cache (the role the proxy tier
+plays in Fig. 2), delta reconstruction, and byte-for-byte verification.
+
+Two arrival disciplines:
+
+* **closed loop** — ``concurrency`` workers over keep-alive connections,
+  each issuing its next request as soon as the previous response is
+  reconstructed.  Measures sustainable throughput (ApacheBench ``-c N``
+  style, the SiteStory evaluation's method).
+* **open loop** — Poisson arrivals at ``rate`` req/s, each request on a
+  pooled connection, in-flight unbounded up to ``concurrency``
+  connections.  Measures behaviour under offered load independent of
+  service rate (the DES sweep's discipline).
+
+Every response is verified client-side: delta responses must apply
+cleanly (the wire format's target checksum makes a wrong reconstruction
+impossible to miss) and all other bodies must match their
+``X-Body-Digest`` tag.  An optional ``verify_render`` hook additionally
+compares the reconstructed document against an independent origin render
+at the server-stamped ``X-Served-At`` instant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.core.delta_server import DeltaServer
+from repro.delta.apply import apply_delta
+from repro.delta.compress import decompress
+from repro.delta.errors import DeltaError
+from repro.http.messages import (
+    HEADER_ACCEPT_DELTA,
+    HEADER_CONTENT_ENCODING,
+    Request,
+    Response,
+    parse_base_ref,
+)
+from repro.metrics import LatencySample, render_table
+from repro.serve.protocol import (
+    HEADER_BODY_DIGEST,
+    HEADER_SERVED_AT,
+    ProtocolError,
+    digest_matches,
+    read_response,
+    serialize_request,
+)
+from repro.url.parts import split_server
+from repro.workload.trace import Trace, TraceRecord
+
+#: (url, user, served_at) -> expected document bytes, or None to skip
+VerifyRender = Callable[[str, str, float], bytes | None]
+
+
+@dataclass(slots=True)
+class LoadGenConfig:
+    """Knobs of one load-generation run."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    mode: str = "closed"  # "closed" | "open"
+    #: closed loop: worker count; open loop: connection-pool ceiling
+    concurrency: int = 8
+    #: open loop only: Poisson arrival rate, requests/second
+    rate: float = 100.0
+    max_requests: int | None = None
+    request_timeout: float = 15.0
+    verify: bool = True
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Client-side measurement of one replay."""
+
+    name: str
+    mode: str
+    requests: int = 0
+    completed: int = 0
+    deltas: int = 0
+    fulls: int = 0
+    base_fetches: int = 0
+    delta_failures: int = 0
+    verify_failures: int = 0
+    errors: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    wire_bytes_in: int = 0
+    wire_bytes_out: int = 0
+    #: wire bytes of document responses only (excludes base-file fetches)
+    document_wire_bytes: int = 0
+    document_bytes: int = 0
+    base_bytes: int = 0
+    duration: float = 0.0
+    peak_in_flight: int = 0
+    latencies: LatencySample = field(default_factory=LatencySample)
+
+    @property
+    def rps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_document_wire_bytes(self) -> float:
+        return self.document_wire_bytes / self.completed if self.completed else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return self.latencies.percentile(q) * 1000.0
+
+    def render(self, title: str | None = None) -> str:
+        rows = [
+            ["requests / completed", f"{self.requests} / {self.completed}"],
+            ["deltas / fulls / base fetches",
+             f"{self.deltas} / {self.fulls} / {self.base_fetches}"],
+            ["delta failures / verify failures",
+             f"{self.delta_failures} / {self.verify_failures}"],
+            ["errors / rejected / timeouts",
+             f"{self.errors} / {self.rejected} / {self.timeouts}"],
+            ["wire bytes in / out", f"{self.wire_bytes_in} / {self.wire_bytes_out}"],
+            ["document / base-file bytes",
+             f"{self.document_bytes} / {self.base_bytes}"],
+            ["mean document response on wire",
+             f"{self.mean_document_wire_bytes:.0f} B"],
+            ["duration", f"{self.duration:.2f} s"],
+            ["throughput", f"{self.rps:.1f} req/s"],
+            ["latency mean / p50 / p90 / p99",
+             f"{self.latencies.mean * 1000:.1f} / {self.latency_ms(50):.1f} / "
+             f"{self.latency_ms(90):.1f} / {self.latency_ms(99):.1f} ms"],
+            ["peak in-flight", self.peak_in_flight],
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=title or f"loadgen {self.name} ({self.mode} loop)",
+        )
+
+
+class _Connection:
+    """One keep-alive client connection."""
+
+    __slots__ = ("reader", "writer", "alive")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class LoadGenerator:
+    """Replays traces against a live server and verifies every response."""
+
+    def __init__(
+        self, config: LoadGenConfig, *, verify_render: VerifyRender | None = None
+    ) -> None:
+        self.config = config
+        self._verify_render = verify_render
+        self._rng = random.Random(config.seed)
+        #: ref -> base-file bytes, shared across users (the proxy's role)
+        self._base_cache: dict[str, bytes] = {}
+        #: (user, url) -> base ref the user would diff against
+        self._url_refs: dict[tuple[str, str], str] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    async def run(self, trace: Trace) -> LoadReport:
+        records = list(trace)
+        if self.config.max_requests is not None:
+            records = records[: self.config.max_requests]
+        report = LoadReport(name=trace.name, mode=self.config.mode)
+        started = time.perf_counter()
+        if self.config.mode == "closed":
+            await self._run_closed(records, report)
+        else:
+            await self._run_open(records, report)
+        report.duration = time.perf_counter() - started
+        return report
+
+    def held_base_refs(self) -> list[str]:
+        """Base-file refs currently cached (diagnostics)."""
+        return sorted(self._base_cache)
+
+    # -- arrival disciplines ---------------------------------------------------
+
+    async def _run_closed(
+        self, records: list[TraceRecord], report: LoadReport
+    ) -> None:
+        queue: deque[TraceRecord] = deque(records)
+        workers = min(self.config.concurrency, max(len(records), 1))
+        report.peak_in_flight = workers
+
+        async def worker() -> None:
+            conn: _Connection | None = None
+            try:
+                while True:
+                    try:
+                        record = queue.popleft()
+                    except IndexError:
+                        return
+                    if conn is None or not conn.alive:
+                        try:
+                            conn = await self._connect()
+                        except OSError:
+                            report.requests += 1
+                            report.errors += 1
+                            conn = None
+                            continue
+                    if not await self._one_record(conn, record, report):
+                        conn.close()
+            finally:
+                if conn is not None:
+                    conn.close()
+
+        await asyncio.gather(*(worker() for _ in range(workers)))
+
+    async def _run_open(
+        self, records: list[TraceRecord], report: LoadReport
+    ) -> None:
+        pool: asyncio.Queue[_Connection] = asyncio.Queue()
+        created = 0
+        in_flight = 0
+        tasks: list[asyncio.Task] = []
+
+        async def checkout() -> _Connection:
+            nonlocal created
+            while True:
+                try:
+                    conn = pool.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                else:
+                    if conn.alive:
+                        return conn
+                    created -= 1  # dead connection leaves the pool
+                    continue
+                if created < self.config.concurrency:
+                    created += 1
+                    try:
+                        return await self._connect()
+                    except OSError:
+                        created -= 1
+                        raise
+                conn = await pool.get()
+                if conn.alive:
+                    return conn
+                created -= 1
+
+        async def one(record: TraceRecord) -> None:
+            nonlocal in_flight
+            in_flight += 1
+            report.peak_in_flight = max(report.peak_in_flight, in_flight)
+            try:
+                try:
+                    conn = await checkout()
+                except OSError:
+                    report.requests += 1
+                    report.errors += 1
+                    return
+                if await self._one_record(conn, record, report):
+                    pool.put_nowait(conn)
+                else:
+                    conn.close()
+                    pool.put_nowait(conn)  # wake waiters; dead conns are skipped
+            finally:
+                in_flight -= 1
+
+        for record in records:
+            await asyncio.sleep(self._rng.expovariate(self.config.rate))
+            tasks.append(asyncio.ensure_future(one(record)))
+        if tasks:
+            await asyncio.gather(*tasks)
+        while not pool.empty():
+            pool.get_nowait().close()
+
+    # -- request execution -----------------------------------------------------
+
+    async def _connect(self) -> _Connection:
+        reader, writer = await asyncio.open_connection(
+            self.config.host, self.config.port
+        )
+        return _Connection(reader, writer)
+
+    async def _roundtrip(
+        self, conn: _Connection, request: Request, report: LoadReport
+    ):
+        wire = serialize_request(request)
+        report.wire_bytes_out += len(wire)
+        conn.writer.write(wire)
+        await conn.writer.drain()
+        parsed = await asyncio.wait_for(
+            read_response(conn.reader), self.config.request_timeout
+        )
+        report.wire_bytes_in += parsed.wire_bytes
+        if not parsed.keep_alive:
+            conn.alive = False
+        return parsed
+
+    async def _one_record(
+        self, conn: _Connection, record: TraceRecord, report: LoadReport
+    ) -> bool:
+        """Issue one trace record; returns False if the connection died."""
+        report.requests += 1
+        try:
+            await self._fetch_document(conn, record.url, record.user, report)
+        except asyncio.TimeoutError:
+            report.timeouts += 1
+            return False
+        except (ProtocolError, ConnectionError, OSError):
+            report.errors += 1
+            return False
+        return conn.alive
+
+    async def _fetch_document(
+        self, conn: _Connection, url: str, user: str, report: LoadReport
+    ) -> None:
+        request = Request(url=url, cookies={"uid": user}, client_id=user)
+        held = self._url_refs.get((user, url))
+        if held is not None and held in self._base_cache:
+            request.headers.set(HEADER_ACCEPT_DELTA, held)
+        started = time.perf_counter()
+        parsed = await self._roundtrip(conn, request, report)
+        latency = time.perf_counter() - started
+        response = parsed.response
+        if response.status == 503:
+            report.rejected += 1
+            return
+        if response.status != 200:
+            report.errors += 1
+            return
+        document = self._reconstruct(url, user, response, report)
+        if document is None:
+            # Unusable delta (lost base): the paper's fallback is a plain
+            # refetch, which the server answers with a full response.
+            self._url_refs.pop((user, url), None)
+            parsed = await self._roundtrip(
+                conn, Request(url=url, cookies={"uid": user}, client_id=user), report
+            )
+            response = parsed.response
+            if response.status != 200:
+                report.errors += 1
+                return
+            document = self._reconstruct(url, user, response, report)
+            if document is None:
+                report.errors += 1
+                return
+        report.completed += 1
+        report.latencies.add(latency)
+        report.document_wire_bytes += parsed.wire_bytes
+        report.document_bytes += len(document)
+        # Adopt the advertised base-file (full responses advertise the
+        # class base; post-rebase deltas advertise the upgrade).
+        ref = response.base_file_ref
+        if ref is not None:
+            self._url_refs[(user, url)] = ref
+            if ref not in self._base_cache:
+                await self._fetch_base(conn, url, user, ref, report)
+        self._check_render(url, user, response, document, report)
+
+    def _reconstruct(
+        self, url: str, user: str, response: Response, report: LoadReport
+    ) -> bytes | None:
+        """Turn a document response into document bytes, verifying it."""
+        if response.is_delta:
+            ref = response.delta_base_ref
+            base = self._base_cache.get(ref) if ref else None
+            if base is None:
+                report.delta_failures += 1
+                return None
+            payload = response.body
+            try:
+                if response.headers.get(HEADER_CONTENT_ENCODING) == "deflate":
+                    payload = decompress(payload)
+                # apply_delta checks the wire checksum: success IS
+                # byte-for-byte verification of the reconstruction.
+                document = apply_delta(payload, base)
+            except (DeltaError, zlib.error):
+                report.delta_failures += 1
+                self._base_cache.pop(ref, None)
+                return None
+            report.deltas += 1
+            return document
+        if self.config.verify and not digest_matches(
+            response.headers.get(HEADER_BODY_DIGEST), response.body
+        ):
+            report.verify_failures += 1
+        report.fulls += 1
+        return response.body
+
+    async def _fetch_base(
+        self, conn: _Connection, document_url: str, user: str, ref: str,
+        report: LoadReport,
+    ) -> None:
+        server, _ = split_server(document_url)
+        try:
+            class_id, version = parse_base_ref(ref)
+        except ValueError:
+            return
+        base_url = DeltaServer.base_file_url(server, class_id, version)
+        request = Request(url=base_url, cookies={"uid": user}, client_id=user)
+        try:
+            parsed = await self._roundtrip(conn, request, report)
+        except (asyncio.TimeoutError, ProtocolError, ConnectionError, OSError):
+            report.errors += 1
+            conn.alive = False
+            return
+        response = parsed.response
+        report.base_fetches += 1
+        if response.status != 200:
+            return
+        if self.config.verify and not digest_matches(
+            response.headers.get(HEADER_BODY_DIGEST), response.body
+        ):
+            report.verify_failures += 1
+            return
+        self._base_cache[ref] = response.body
+        report.base_bytes += len(response.body)
+
+    def _check_render(
+        self, url: str, user: str, response: Response, document: bytes,
+        report: LoadReport,
+    ) -> None:
+        if self._verify_render is None:
+            return
+        served_at_header = response.headers.get(HEADER_SERVED_AT)
+        if served_at_header is None:
+            return
+        try:
+            served_at = float(served_at_header)
+        except ValueError:
+            report.verify_failures += 1
+            return
+        expected = self._verify_render(url, user, served_at)
+        if expected is not None and expected != document:
+            report.verify_failures += 1
+
+
+async def replay_trace(
+    trace: Trace, config: LoadGenConfig, *, verify_render: VerifyRender | None = None
+) -> LoadReport:
+    """One-call façade: replay ``trace`` per ``config`` and report."""
+    return await LoadGenerator(config, verify_render=verify_render).run(trace)

@@ -1,0 +1,316 @@
+"""The live delta-server: ``repro.core.DeltaServer`` behind real sockets.
+
+This is the deployment posture of Fig. 2 made literal: an asyncio TCP
+listener speaking HTTP/1.1 (:mod:`repro.serve.protocol`), with the
+class-based delta-encoding engine doing the actual work.  Design points,
+each mirroring a Section VI-C property of the paper's Apache testbed:
+
+* **Connection-slot semaphore** — at most ``max_connections`` (default
+  the paper's 255) concurrent connections; further connections are turned
+  away with ``503`` instead of queueing, the behaviour the discrete-event
+  capacity sweep models.
+* **The event loop never blocks on the differ** — delta generation (and
+  origin rendering) runs on a :class:`DeltaExecutor` worker pool; the
+  loop only parses, awaits, and writes.  Requests serialize inside the
+  engine on its own lock (single-writer class state); connection handling
+  stays concurrent, which is exactly why small delta responses release
+  slots quickly.
+* **Per-request timeout** — a dispatch exceeding ``request_timeout``
+  answers ``504`` and the connection keeps serving.
+* **Graceful drain** — ``close()`` stops accepting, lets in-flight
+  connections finish for ``drain_timeout`` seconds, then cancels.
+
+``mode="plain"`` serves full origin renders through the identical wire
+stack (no delta engine), giving the plain-web-server baseline of the
+capacity comparison over the same sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import DeltaServerConfig
+from repro.core.delta_server import DeltaServer
+from repro.http.messages import Request, Response
+from repro.origin.server import OriginServer
+from repro.origin.site import SyntheticSite
+from repro.serve.executor import DeltaExecutor
+from repro.serve.gateway import FaultHook, OriginGateway
+from repro.serve.protocol import (
+    HEADER_BODY_DIGEST,
+    HEADER_SERVED_AT,
+    SERVER_SOFTWARE,
+    ParsedRequest,
+    ProtocolError,
+    body_digest,
+    read_request,
+    serialize_response,
+)
+from repro.serve.stats import ServeStats
+
+MODES = ("delta", "plain")
+
+#: the paper's Apache connection ceiling (Section VI-C)
+PAPER_CONNECTION_LIMIT = 255
+
+
+class DeltaHTTPServer:
+    """Asyncio HTTP/1.1 front-end for a :class:`DeltaServer` engine."""
+
+    def __init__(
+        self,
+        gateway: OriginGateway,
+        engine: DeltaServer | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        mode: str = "delta",
+        max_connections: int = PAPER_CONNECTION_LIMIT,
+        request_timeout: float = 30.0,
+        idle_timeout: float = 30.0,
+        drain_timeout: float = 5.0,
+        chunk_threshold: int = 16 * 1024,
+        executor: DeltaExecutor | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode == "delta" and engine is None:
+            raise ValueError("delta mode requires a DeltaServer engine")
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.gateway = gateway
+        self.engine = engine
+        self.mode = mode
+        self.max_connections = max_connections
+        self.stats = ServeStats()
+        self.clock = clock or time.monotonic
+        self._host = host
+        self._port = port
+        self._request_timeout = request_timeout
+        self._idle_timeout = idle_timeout
+        self._drain_timeout = drain_timeout
+        self._chunk_threshold = chunk_threshold
+        # The server owns its executor (shuts it down on close), whether
+        # constructed here or handed in.
+        self._executor = executor or DeltaExecutor("thread")
+        self._slots = asyncio.Semaphore(max_connections)
+        self._tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._closing = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ephemeral port 0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client_connected, self._host, self._port
+        )
+        self.stats.started_at = self.clock()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then cancel."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._tasks:
+            _, pending = await asyncio.wait(
+                set(self._tasks), timeout=self._drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown()
+
+    async def __aenter__(self) -> "DeltaHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._closing or self._slots.locked():
+            # All connection slots are taken: turn the connection away
+            # (the DES capacity model's rejection path) instead of queueing.
+            self.stats.on_connection_rejected()
+            with contextlib.suppress(Exception):
+                writer.write(
+                    serialize_response(
+                        Response(status=503, body=b"connection slots exhausted"),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        await self._slots.acquire()
+        self.stats.on_connection_open()
+        try:
+            await self._request_loop(reader, writer)
+        finally:
+            self._slots.release()
+            self.stats.on_connection_close()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _request_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                parsed = await asyncio.wait_for(
+                    read_request(reader), self._idle_timeout
+                )
+            except (asyncio.TimeoutError, ConnectionError):
+                return
+            except ProtocolError as exc:
+                self.stats.protocol_errors += 1
+                await self._write(
+                    writer,
+                    Response(status=exc.status, body=str(exc).encode()),
+                    keep_alive=False,
+                )
+                return
+            if parsed is None:
+                return  # clean EOF
+            keep_alive = await self._serve_one(writer, parsed)
+            if not keep_alive:
+                return
+
+    async def _serve_one(
+        self, writer: asyncio.StreamWriter, parsed: ParsedRequest
+    ) -> bool:
+        self.stats.requests += 1
+        self.stats.bytes_in += parsed.wire_bytes
+        started = self.clock()
+        try:
+            response = await asyncio.wait_for(
+                self._dispatch(parsed.request), self._request_timeout
+            )
+        except asyncio.TimeoutError:
+            # The worker may still be running; the engine lock keeps any
+            # late mutation consistent — only this response is abandoned.
+            self.stats.timeouts += 1
+            response = Response(status=504, body=b"request timed out")
+        except Exception:
+            # Defensive: an engine bug must cost one response, not the server.
+            self.stats.errors += 1
+            response = Response(status=500, body=b"internal error")
+        keep_alive = parsed.keep_alive and not self._closing
+        try:
+            await self._write(
+                writer, response, keep_alive=keep_alive,
+                latency=self.clock() - started,
+            )
+        except ConnectionError:
+            return False
+        return keep_alive
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Response:
+        now = self.clock()
+        if self.mode == "plain":
+            response = await self._executor.run(
+                self.gateway.fetch_sync, request, now
+            )
+        else:
+            assert self.engine is not None
+            response = await self._executor.run(self.engine.handle, request, now)
+        response.headers.set("Server", SERVER_SOFTWARE)
+        response.headers.set(HEADER_SERVED_AT, f"{now:.6f}")
+        if not response.is_delta:
+            # Deltas carry their target checksum in the wire payload; every
+            # other body gets an integrity tag so clients can verify
+            # byte-for-byte what they received.
+            response.headers.set(HEADER_BODY_DIGEST, body_digest(response.body))
+        return response
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        *,
+        keep_alive: bool,
+        latency: float | None = None,
+    ) -> None:
+        chunked = len(response.body) >= self._chunk_threshold
+        wire = serialize_response(response, keep_alive=keep_alive, chunked=chunked)
+        writer.write(wire)
+        await writer.drain()
+        self.stats.on_response(response, len(wire), latency)
+
+
+def build_server(
+    sites: Sequence[SyntheticSite] | Iterable[SyntheticSite],
+    *,
+    mode: str = "delta",
+    config: DeltaServerConfig | None = None,
+    origin_latency: float = 0.0,
+    origin_jitter: float = 0.0,
+    fault_hook: FaultHook | None = None,
+    executor_kind: str = "thread",
+    executor_workers: int | None = None,
+    **server_kwargs: object,
+) -> DeltaHTTPServer:
+    """Assemble the full live stack for a set of synthetic sites.
+
+    Mirrors :class:`repro.simulation.engine.Simulation`'s wiring — origin,
+    admin rulebook from each site's hint pattern, engine — but in front of
+    real sockets instead of the simulated clock.
+    """
+    from repro.url.rules import RuleBook
+
+    site_list = list(sites)
+    origin = OriginServer(site_list)
+    gateway = OriginGateway(
+        origin,
+        latency=origin_latency,
+        jitter=origin_jitter,
+        fault_hook=fault_hook,
+    )
+    engine = None
+    if mode == "delta":
+        rulebook = RuleBook()
+        for site in site_list:
+            rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
+        engine = DeltaServer(gateway.fetch_sync, config, rulebook)
+    executor = DeltaExecutor(executor_kind, max_workers=executor_workers)
+    return DeltaHTTPServer(
+        gateway, engine, mode=mode, executor=executor, **server_kwargs  # type: ignore[arg-type]
+    )

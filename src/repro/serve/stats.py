@@ -1,0 +1,104 @@
+"""Live serving counters, wired into the ``repro.metrics`` substrate.
+
+The discrete-event simulator reports throughput/concurrency from its
+virtual clock; this module is the same accounting for the real asyncio
+server: connection slots, per-request wall-clock latency percentiles
+(:class:`~repro.metrics.collector.LatencySample`), response-size samples
+(:class:`~repro.metrics.collector.SizeSample`), and the delta/full/base
+split that Table II-style bandwidth math needs.  ``render`` produces the
+same aligned tables every benchmark emits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.http.messages import Response
+from repro.metrics import LatencySample, SizeSample, render_table
+
+
+@dataclass(slots=True)
+class ServeStats:
+    """Counters for one live server instance (single event loop; unlocked)."""
+
+    started_at: float | None = None
+    connections_accepted: int = 0
+    connections_rejected: int = 0
+    active_connections: int = 0
+    peak_connections: int = 0
+    requests: int = 0
+    responses: int = 0
+    deltas_served: int = 0
+    full_documents: int = 0
+    base_files_served: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    protocol_errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    status_counts: Counter = field(default_factory=Counter)
+    latencies: LatencySample = field(default_factory=LatencySample)
+    response_sizes: SizeSample = field(default_factory=SizeSample)
+
+    # -- event hooks -----------------------------------------------------------
+
+    def on_connection_open(self) -> None:
+        self.connections_accepted += 1
+        self.active_connections += 1
+        self.peak_connections = max(self.peak_connections, self.active_connections)
+
+    def on_connection_rejected(self) -> None:
+        self.connections_rejected += 1
+
+    def on_connection_close(self) -> None:
+        self.active_connections -= 1
+
+    def on_response(
+        self, response: Response, wire_bytes: int, latency_seconds: float | None
+    ) -> None:
+        self.responses += 1
+        self.status_counts[response.status] += 1
+        self.bytes_out += wire_bytes
+        self.response_sizes.add(len(response.body))
+        if latency_seconds is not None:
+            self.latencies.add(latency_seconds)
+        if response.status >= 500:
+            self.errors += 1
+        if response.status != 200:
+            return
+        if response.is_delta:
+            self.deltas_served += 1
+        elif response.cachable and response.is_base_file:
+            self.base_files_served += 1
+        else:
+            self.full_documents += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def throughput_rps(self, now: float) -> float:
+        """Responses per second of wall-clock since ``started_at``."""
+        if self.started_at is None or now <= self.started_at:
+            return 0.0
+        return self.responses / (now - self.started_at)
+
+    def render(self, now: float | None = None, title: str = "live server") -> str:
+        rows: list[list[object]] = [
+            ["connections accepted / rejected",
+             f"{self.connections_accepted} / {self.connections_rejected}"],
+            ["peak concurrent connections", self.peak_connections],
+            ["requests / responses", f"{self.requests} / {self.responses}"],
+            ["deltas / fulls / base-files",
+             f"{self.deltas_served} / {self.full_documents} / {self.base_files_served}"],
+            ["errors / timeouts / protocol errors",
+             f"{self.errors} / {self.timeouts} / {self.protocol_errors}"],
+            ["bytes in / out", f"{self.bytes_in} / {self.bytes_out}"],
+            ["mean response body", f"{self.response_sizes.mean:.0f} B"],
+            ["latency mean / p50 / p99",
+             f"{self.latencies.mean * 1000:.1f} / "
+             f"{self.latencies.percentile(50) * 1000:.1f} / "
+             f"{self.latencies.percentile(99) * 1000:.1f} ms"],
+        ]
+        if now is not None:
+            rows.append(["throughput", f"{self.throughput_rps(now):.1f} req/s"])
+        return render_table(["metric", "value"], rows, title=title)

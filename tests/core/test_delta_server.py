@@ -135,6 +135,54 @@ class TestBaseFileDistribution:
         assert not find_card_numbers(cls.distributable_base)
 
 
+class TestMalformedBaseFileUrls:
+    """Hostile or broken ``__delta_base__`` URLs must parse to None (and
+    then 404 through ``handle``), never raise."""
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "www.d.example/__delta_base__",  # no class id, no version
+            "www.d.example/__delta_base__/",  # empty class id, no version
+            "www.d.example/__delta_base__/cls1",  # missing version
+            "www.d.example/__delta_base__/cls1/",  # empty version
+            "www.d.example/__delta_base__//3",  # empty class id
+            "www.d.example/__delta_base__/cls1/seven",  # non-integer version
+            "www.d.example/__delta_base__/cls1/3.5",  # non-integer version
+            "www.d.example/__delta_base__/cls1/-3",  # sign is not a digit
+            "www.d.example/__delta_base__/cls1/٣",  # non-ASCII digit
+            "www.d.example/__delta_base__/cls1/99999999999999999999x",
+        ],
+    )
+    def test_parse_returns_none(self, url):
+        assert DeltaServer._parse_base_file_url(url) is None
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "www.d.example/__delta_base__/cls1",
+            "www.d.example/__delta_base__/cls1/seven",
+            "www.d.example/__delta_base__//3",
+        ],
+    )
+    def test_handle_returns_404_not_crash(self, stack, url):
+        _, _, server = stack
+        assert server.handle(Request(url=url), now=0.0).status == 404
+
+    def test_wellformed_url_still_parses(self):
+        parsed = DeltaServer._parse_base_file_url(
+            "www.d.example/__delta_base__/cls7/12"
+        )
+        assert parsed == ("cls7", 12)
+
+    def test_extra_trailing_segments_tolerated(self):
+        # Anything after <class>/<version> is ignored, not an error.
+        parsed = DeltaServer._parse_base_file_url(
+            "www.d.example/__delta_base__/cls7/12/extra"
+        )
+        assert parsed == ("cls7", 12)
+
+
 class TestPassthrough:
     def test_non_200_passed_through(self, stack):
         _, _, server = stack

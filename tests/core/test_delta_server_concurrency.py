@@ -1,0 +1,123 @@
+"""Regression: one DeltaServer instance hammered from many threads.
+
+The live serve layer (:mod:`repro.serve`) dispatches engine calls onto a
+worker pool, so ``DeltaServer.handle`` must tolerate concurrent callers.
+The engine serializes them on an internal lock; these tests exist to
+catch any future mutation path that escapes it (class-map races, base
+adoption mid-read, stats corruption).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.config import AnonymizationConfig, DeltaServerConfig
+from repro.core.delta_server import DeltaServer
+from repro.delta.apply import apply_delta
+from repro.delta.compress import decompress
+from repro.http.messages import HEADER_ACCEPT_DELTA, Request
+from repro.origin.server import OriginServer
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.url.rules import RuleBook
+
+USERS = [f"user{i:02d}" for i in range(16)]
+
+
+def build_stack():
+    site = SyntheticSite(SiteSpec(name="www.c.example", products_per_category=4))
+    origin = OriginServer([site])
+    rulebook = RuleBook()
+    rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
+    config = DeltaServerConfig(
+        anonymization=AnonymizationConfig(enabled=True, documents=2, min_count=1)
+    )
+    return site, origin, DeltaServer(origin.handle, config, rulebook)
+
+
+def req(url: str, user: str, accept: str | None = None) -> Request:
+    request = Request(url=url, cookies={"uid": user}, client_id=user)
+    if accept:
+        request.headers.set(HEADER_ACCEPT_DELTA, accept)
+    return request
+
+
+def test_concurrent_handle_consistent_accounting():
+    """N threads x M requests: no exception, exact request accounting."""
+    site, _, server = build_stack()
+    urls = [site.url_for(page) for page in site.all_pages()[:6]]
+    per_thread = 25
+    threads = 8
+    failures: list[BaseException] = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for i in range(per_thread):
+                url = urls[(worker + i) % len(urls)]
+                user = USERS[(worker * 7 + i) % len(USERS)]
+                response = server.handle(req(url, user), now=float(i))
+                assert response.status == 200
+        except BaseException as exc:  # noqa: BLE001 - collected for the assert
+            failures.append(exc)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        for worker in range(threads):
+            pool.submit(hammer, worker)
+    assert not failures, failures
+    assert server.stats.requests == threads * per_thread
+    assert (
+        server.stats.deltas_served
+        + server.stats.full_served
+        + server.stats.passthrough
+        == server.stats.requests
+    )
+
+
+def test_concurrent_deltas_reconstruct_correctly():
+    """Concurrent base-holders all get deltas that apply cleanly."""
+    site, origin, server = build_stack()
+    url = site.url_for(site.all_pages()[0])
+    for user in USERS[:4]:  # warm anonymization to READY
+        server.handle(req(url, user), now=0.0)
+    cls = server.class_of(url)
+    assert cls is not None and cls.can_serve_deltas
+    ref = f"{cls.class_id}/{cls.version}"
+    base = cls.distributable_base
+    failures: list[str] = []
+    barrier = threading.Barrier(8)
+
+    def fetch(user: str) -> None:
+        barrier.wait()
+        for i in range(10):
+            response = server.handle(req(url, user, accept=ref), now=10.0 + i)
+            if not response.is_delta:
+                failures.append(f"{user}: expected delta")
+                return
+            body = apply_delta(decompress(response.body), base)
+            expected = origin.handle(req(url, user), now=10.0 + i).body
+            if body != expected:
+                failures.append(f"{user}: reconstruction mismatch on request {i}")
+                return
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for user in USERS[:8]:
+            pool.submit(fetch, user)
+    assert not failures, failures
+
+
+def test_concurrent_class_formation_single_class():
+    """Racing first-requests for the same document must not split the class."""
+    site, _, server = build_stack()
+    url = site.url_for(site.all_pages()[1])
+    barrier = threading.Barrier(8)
+
+    def first(user: str) -> None:
+        barrier.wait()
+        server.handle(req(url, user), now=0.0)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for user in USERS[:8]:
+            pool.submit(first, user)
+    cls = server.class_of(url)
+    assert cls is not None
+    # The URL belongs to exactly one class; racing firsts must not fork it.
+    owners = [c for c in server.grouper.classes if url in c.members]
+    assert len(owners) == 1

@@ -1,0 +1,146 @@
+"""Error-path coverage for the delta wire format (satellite hardening).
+
+Every way a delta payload can be wrong — truncated mid-structure,
+pointing outside its base, or outright garbage — must surface as a typed
+error from :mod:`repro.delta.errors`, never an ``IndexError`` or silent
+corruption.  The live server ships these payloads to untrusted clients
+and applies client-supplied refs, so the decode path must be total.
+"""
+
+import random
+
+import pytest
+
+from repro.delta import (
+    BaseMismatchError,
+    CorruptDeltaError,
+    DeltaError,
+    apply_delta,
+    make_delta,
+)
+from repro.delta.codec import MAGIC, checksum, decode_delta, encode_delta
+from repro.delta.errors import DeltaError as ErrorsDeltaError
+from repro.delta.instructions import Add, Copy, Run
+from repro.delta.apply import replay
+
+BASE = (b"the quick brown fox jumps over the lazy dog. " * 40)[:1600]
+TARGET = BASE[:700] + b"<<inserted block>>" + BASE[700:1500] + b"tail"
+
+
+def valid_payload() -> bytes:
+    payload = make_delta(BASE, TARGET)
+    assert apply_delta(payload, BASE) == TARGET
+    return payload
+
+
+class TestTruncation:
+    def test_every_strict_prefix_raises_corrupt(self):
+        """No truncation point yields a silently-wrong document."""
+        payload = valid_payload()
+        for cut in range(len(payload)):
+            with pytest.raises(CorruptDeltaError):
+                decode_delta(payload[:cut])
+
+    def test_truncated_apply_never_returns_bytes(self):
+        payload = valid_payload()
+        # Sampled (apply also replays): every 7th prefix keeps this fast.
+        for cut in range(0, len(payload), 7):
+            with pytest.raises(DeltaError):
+                apply_delta(payload[:cut], BASE)
+
+
+class TestCopyBounds:
+    def test_decode_rejects_copy_beyond_declared_base(self):
+        payload = encode_delta(
+            [Copy(offset=len(BASE) - 4, length=16)], len(BASE), checksum(b"")
+        )
+        with pytest.raises(CorruptDeltaError, match="outside base"):
+            decode_delta(payload)
+
+    def test_decode_rejects_copy_offset_past_end(self):
+        payload = encode_delta([Copy(offset=10_000, length=1)], len(BASE), 0)
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(payload)
+
+    def test_lying_base_length_caught_at_apply(self):
+        """A payload whose header claims a bigger base passes decode but
+        must fail apply before any out-of-range read."""
+        payload = encode_delta(
+            [Copy(offset=len(BASE), length=64)], len(BASE) + 64, 0
+        )
+        decode_delta(payload)  # structurally fine against its own header
+        with pytest.raises(BaseMismatchError):
+            apply_delta(payload, BASE)
+
+    def test_replay_rejects_out_of_bounds_copy(self):
+        with pytest.raises(CorruptDeltaError, match="outside base"):
+            replay([Copy(offset=0, length=len(BASE) + 1)], BASE)
+
+
+class TestGarbageInput:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"\x00",
+            b"not a delta at all",
+            MAGIC,  # header only
+            MAGIC + b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff",  # runaway varints
+            MAGIC + b"\x00\x00" + b"\x00" * 4 + b"\x07",  # unknown opcode
+        ],
+    )
+    def test_typed_error_only(self, payload):
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(payload)
+
+    def test_seeded_random_bytes_after_magic(self):
+        """Fuzz the instruction stream: only DeltaError family may escape."""
+        rng = random.Random(0xC0FFEE)
+        for trial in range(200):
+            junk = MAGIC + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 60))
+            )
+            try:
+                apply_delta(junk, BASE)
+            except ErrorsDeltaError:
+                pass  # CorruptDeltaError or BaseMismatchError: both fine
+            # Anything else (IndexError, MemoryError, ...) fails the test.
+
+    def test_zero_length_run_rejected(self):
+        payload = bytearray(MAGIC)
+        payload += b"\x00\x00"  # target length 0, base length 0
+        payload += b"\x00" * 4  # checksum
+        payload += b"\x02\x41\x00"  # RUN 'A' x 0
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(bytes(payload))
+
+
+class TestMismatchedBase:
+    def test_wrong_base_length(self):
+        payload = valid_payload()
+        with pytest.raises(BaseMismatchError, match="byte base"):
+            apply_delta(payload, BASE + b"x")
+
+    def test_same_length_wrong_content_fails_checksum(self):
+        payload = valid_payload()
+        # Corrupt a wide swath so some COPY-sourced region is affected
+        # no matter how the differ carved up the base.
+        wrong = bytearray(len(BASE))
+        with pytest.raises(BaseMismatchError, match="checksum"):
+            apply_delta(payload, bytes(wrong))
+
+    def test_tampered_payload_add_data(self):
+        """Flip one byte inside an ADD region: checksum catches it."""
+        payload = bytearray(valid_payload())
+        # Find the inserted block's bytes in the payload and corrupt one.
+        idx = bytes(payload).find(b"<<inserted")
+        assert idx != -1
+        payload[idx] ^= 0x01
+        with pytest.raises(DeltaError):
+            apply_delta(bytes(payload), BASE)
+
+    def test_replay_of_valid_instructions_is_unchecked(self):
+        """replay() is the unchecked inner loop; apply_delta owns checks."""
+        assert replay([Add(b"ab"), Run(0x2E, 3), Copy(0, 4)], BASE) == (
+            b"ab" + b"..." + BASE[:4]
+        )

@@ -1,0 +1,77 @@
+"""Tests for the origin bridge (repro.serve.gateway)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.http.messages import Request, Response
+from repro.origin.server import OriginServer
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.serve.gateway import OriginGateway
+
+
+@pytest.fixture()
+def origin():
+    return OriginServer([SyntheticSite(SiteSpec(name="www.g.example"))])
+
+
+def first_url(origin: OriginServer) -> str:
+    site = origin.site("www.g.example")
+    return site.url_for(site.all_pages()[0])
+
+
+def test_fetch_sync_hits_origin(origin):
+    gateway = OriginGateway(origin)
+    response = gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert response.status == 200
+    assert len(response.body) > 1000
+    assert gateway.stats.fetches == 1
+
+
+def test_async_fetch_same_result(origin):
+    gateway = OriginGateway(origin)
+    request = Request(url=first_url(origin))
+    sync_body = gateway.fetch_sync(request, now=0.0).body
+    async_body = asyncio.run(gateway.fetch(request, now=0.0)).body
+    assert sync_body == async_body
+
+
+def test_latency_injection_delays_fetch(origin):
+    gateway = OriginGateway(origin, latency=0.05)
+    started = time.perf_counter()
+    gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert time.perf_counter() - started >= 0.05
+    assert gateway.stats.injected_latency_seconds >= 0.05
+
+
+def test_jitter_stays_in_band(origin):
+    gateway = OriginGateway(origin, latency=0.01, jitter=0.02, seed=3)
+    delays = [gateway._draw_delay() for _ in range(50)]
+    assert all(0.01 <= d <= 0.03 for d in delays)
+    assert len(set(delays)) > 1
+
+
+def test_fault_hook_substitutes_response(origin):
+    def hook(request: Request) -> Response | None:
+        if "id=0" in request.url:
+            return Response(status=503, body=b"injected outage")
+        return None
+
+    gateway = OriginGateway(origin, fault_hook=hook)
+    url = first_url(origin)
+    assert "id=0" in url
+    response = gateway.fetch_sync(Request(url=url), now=0.0)
+    assert response.status == 503 and response.body == b"injected outage"
+    assert gateway.stats.faults_injected == 1
+    # Other URLs pass through untouched.
+    other = url.replace("id=0", "id=1")
+    assert gateway.fetch_sync(Request(url=other), now=0.0).status == 200
+    assert gateway.stats.faults_injected == 1
+
+
+def test_negative_latency_rejected(origin):
+    with pytest.raises(ValueError):
+        OriginGateway(origin, latency=-1.0)
+    with pytest.raises(ValueError):
+        OriginGateway(origin, jitter=-0.1)

@@ -1,0 +1,66 @@
+"""Tests for the live serving counters (repro.serve.stats)."""
+
+from repro.http.messages import HEADER_DELTA, HEADER_DELTA_BASE, Response
+from repro.serve.stats import ServeStats
+
+
+def delta_response() -> Response:
+    response = Response(status=200, body=b"delta-bytes")
+    response.headers.set(HEADER_DELTA, "cls1/1")
+    return response
+
+
+def base_file_response() -> Response:
+    response = Response(status=200, body=b"base-bytes")
+    response.headers.set(HEADER_DELTA_BASE, "cls1/1")
+    response.mark_cachable()
+    return response
+
+
+def full_response() -> Response:
+    # Full documents may advertise a base (X-Delta-Base) without being one.
+    response = Response(status=200, body=b"full-document")
+    response.headers.set(HEADER_DELTA_BASE, "cls1/1")
+    return response
+
+
+def test_connection_peak_tracking():
+    stats = ServeStats()
+    stats.on_connection_open()
+    stats.on_connection_open()
+    stats.on_connection_close()
+    stats.on_connection_open()
+    stats.on_connection_rejected()
+    assert stats.connections_accepted == 3
+    assert stats.connections_rejected == 1
+    assert stats.active_connections == 2
+    assert stats.peak_connections == 2
+
+
+def test_response_classification():
+    stats = ServeStats()
+    stats.on_response(delta_response(), wire_bytes=100, latency_seconds=0.002)
+    stats.on_response(full_response(), wire_bytes=500, latency_seconds=0.004)
+    stats.on_response(base_file_response(), wire_bytes=400, latency_seconds=0.001)
+    stats.on_response(Response(status=404, body=b"no"), 60, 0.001)
+    stats.on_response(Response(status=500, body=b"boom"), 60, None)
+    assert stats.deltas_served == 1
+    assert stats.full_documents == 1
+    assert stats.base_files_served == 1
+    assert stats.errors == 1
+    assert stats.responses == 5
+    assert stats.bytes_out == 100 + 500 + 400 + 60 + 60
+    assert stats.status_counts[200] == 3
+    assert stats.latencies.count == 4  # None latency not sampled
+
+
+def test_throughput_and_render():
+    stats = ServeStats()
+    stats.started_at = 100.0
+    for _ in range(10):
+        stats.on_response(full_response(), wire_bytes=100, latency_seconds=0.01)
+    assert stats.throughput_rps(105.0) == 2.0
+    assert stats.throughput_rps(100.0) == 0.0
+    text = stats.render(now=105.0)
+    assert "2.0 req/s" in text
+    assert "requests / responses" in text

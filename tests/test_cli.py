@@ -89,6 +89,68 @@ def test_unknown_command_rejected():
         main(["nonsense"])
 
 
+class TestServeAndLoadgen:
+    def test_serve_then_loadgen_in_process(self, tmp_path, capsys):
+        """The serve command in a thread, the loadgen command against it
+        — the same sequence the CI smoke job runs from a shell."""
+        import re
+        import socket
+        import threading
+        import time
+
+        trace_path = tmp_path / "t.log"
+        main(["trace-gen", "--requests", "60", "--users", "6", "--out", str(trace_path)])
+        capsys.readouterr()
+
+        with socket.socket() as probe:  # pick a free port up front
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        # --max-requests lets the server exit on its own once the load
+        # generator is done (60 documents + base fetches < 90).
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--port", str(port), "--max-requests", "90"],),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=0.2):
+                    break
+            except OSError:
+                time.sleep(0.05)
+        else:
+            raise AssertionError("server never started listening")
+
+        code = main(["loadgen", str(trace_path), "--port", str(port)])
+        output = capsys.readouterr().out
+        assert code == 0
+        match = re.search(
+            r"delta failures / verify failures +\| (\d+) / (\d+)", output
+        )
+        assert match is not None and match.group(2) == "0"
+        assert re.search(r"requests / completed +\| 60 / 60", output)
+        server.join(timeout=10.0)
+
+    def test_loadgen_reports_when_nothing_listens(self, tmp_path, capsys):
+        import socket
+
+        trace_path = tmp_path / "t.log"
+        main(["trace-gen", "--requests", "5", "--users", "2", "--out", str(trace_path)])
+        capsys.readouterr()
+        with socket.socket() as probe:  # a port with no listener behind it
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        code = main(
+            ["loadgen", str(trace_path), "--port", str(port), "--concurrency", "1"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0  # verify failures are the only failure signal
+        assert "requests / completed" in output
+
+
 class TestTraceStats:
     def test_stats_of_generated_trace(self, tmp_path, capsys):
         out = tmp_path / "t.log"
