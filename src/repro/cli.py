@@ -166,11 +166,24 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import FaultPlan, ResilienceConfig
     from repro.serve import build_server
 
     site = _build_site(args)
     config = DeltaServerConfig(
         anonymization=AnonymizationConfig(documents=args.anon_n, min_count=args.anon_m)
+    )
+    fault_plan = (
+        FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+        if args.fault_plan
+        else None
+    )
+    resilience = ResilienceConfig(
+        enabled=not args.no_resilience,
+        retries=args.origin_retries,
+        deadline=args.origin_deadline,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
 
     async def run() -> int:
@@ -179,6 +192,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             mode=args.mode,
             config=config,
             origin_latency=args.origin_latency,
+            origin_jitter=args.origin_jitter,
+            fault_plan=fault_plan,
+            resilience=resilience,
             executor_kind=args.executor,
             host=args.host,
             port=args.port,
@@ -192,6 +208,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"(mode={args.mode}, slots={args.max_connections})",
                 flush=True,
             )
+            if fault_plan is not None:
+                print(f"fault injection: {fault_plan.describe()}", flush=True)
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGINT, signal.SIGTERM):
@@ -217,6 +235,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 with contextlib.suppress(asyncio.CancelledError):
                     await serving
             print(server.stats.render(server.clock()), flush=True)
+            if server.resilience is not None:
+                snapshot = server.resilience.snapshot()
+                breaker = snapshot["breaker"]
+                policy = snapshot["policy"]
+                print(
+                    f"origin resilience: breaker={breaker['state']} "
+                    f"(opened {breaker['opened']}x, reclosed {breaker['reclosed']}x), "
+                    f"retries={policy['retries']}, fast-fails={policy['fast_fails']}",
+                    flush=True,
+                )
         return 0
 
     return asyncio.run(run())
@@ -235,10 +263,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         max_requests=args.requests,
         request_timeout=args.timeout,
         verify=not args.no_verify,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
     )
     report = asyncio.run(LoadGenerator(config).run(trace))
     print(report.render())
-    return 1 if report.verify_failures else 0
+    if report.verify_failures:
+        return 1
+    if args.strict and (
+        report.errors
+        or report.delta_failures
+        or report.rejected
+        or report.timeouts
+    ):
+        return 1
+    return 0
 
 
 def _add_site_args(parser: argparse.ArgumentParser) -> None:
@@ -300,6 +339,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="where delta generation runs")
     serve.add_argument("--origin-latency", type=float, default=0.0,
                        help="injected origin fetch latency, seconds")
+    serve.add_argument("--origin-jitter", type=float, default=0.0,
+                       help="uniform extra origin latency, seconds")
+    serve.add_argument("--fault-plan", default=None,
+                       help="structured fault injection, e.g. "
+                       "'error:rate=0.1,status=500;latency:rate=0.05,delay=0.2'")
+    serve.add_argument("--fault-seed", type=int, default=23)
+    serve.add_argument("--no-resilience", action="store_true",
+                       help="disable origin retries/backoff and the circuit breaker")
+    serve.add_argument("--origin-retries", type=int, default=2,
+                       help="origin retry attempts per request")
+    serve.add_argument("--origin-deadline", type=float, default=10.0,
+                       help="per-request origin effort budget, seconds")
+    serve.add_argument("--breaker-threshold", type=float, default=0.5,
+                       help="failure rate that opens the circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds the breaker stays open before probing")
     serve.add_argument("--anon-n", type=int, default=3, help="anonymization N")
     serve.add_argument("--anon-m", type=int, default=1, help="anonymization M")
     serve.add_argument("--max-requests", type=int, default=None,
@@ -319,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--timeout", type=float, default=15.0)
     loadgen.add_argument("--no-verify", action="store_true",
                          help="skip client-side body-digest verification")
+    loadgen.add_argument("--retries", type=int, default=0,
+                         help="retry 502/503/504 this many times with capped backoff")
+    loadgen.add_argument("--retry-backoff", type=float, default=0.05,
+                         help="base retry backoff, seconds (doubles per attempt)")
+    loadgen.add_argument("--strict", action="store_true",
+                         help="also exit non-zero on errors, delta failures, "
+                              "rejections, or timeouts (CI chaos gates)")
     loadgen.set_defaults(func=cmd_loadgen)
 
     return parser

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.core.anonymize import AnonymizationState, Anonymizer
 from repro.core.base_file import BaseFilePolicy
 from repro.core.config import AnonymizationConfig
+from repro.delta.codec import checksum
 from repro.delta.light import LightEstimator
 from repro.delta.vdelta import BaseIndex, VdeltaEncoder
 
@@ -73,6 +74,14 @@ class DocumentClass:
         self.version = 0
         self._pending: Anonymizer | None = None
 
+        # Self-healing: every distributable base is checksummed on
+        # promotion so storage corruption is detected before a delta is
+        # computed against rotten bytes; a quarantined class serves fulls
+        # until it re-adopts a fresh base from the next good fetch.
+        self.quarantined = False
+        self._checksum: int | None = None
+        self._previous_checksum: int | None = None
+
         # One previous distributable generation is kept live so clients
         # holding it keep receiving deltas across a rebase instead of
         # falling back to full responses while they re-fetch the new base.
@@ -112,7 +121,11 @@ class DocumentClass:
 
     @property
     def can_serve_deltas(self) -> bool:
-        return self._distributable is not None and len(self._distributable) > 0
+        return (
+            not self.quarantined
+            and self._distributable is not None
+            and len(self._distributable) > 0
+        )
 
     @property
     def anonymization_pending(self) -> bool:
@@ -125,8 +138,10 @@ class DocumentClass:
         """Adopt a new raw base-file and start (re-)anonymizing it.
 
         The previous distributable base, if any, stays in service until the
-        new one is ready.
+        new one is ready.  Adopting also lifts any quarantine: a fresh
+        base from a good fetch is exactly the recovery path.
         """
+        self.quarantined = False
         self._raw_base = document
         self.last_rebase_at = now
         self._pending = Anonymizer(
@@ -149,7 +164,9 @@ class DocumentClass:
             self._previous = self._distributable
             self._previous_version = self.version
             self._previous_index = self._full_index
+            self._previous_checksum = self._checksum
         self._distributable = anonymizer.anonymized
+        self._checksum = checksum(self._distributable)
         self.version += 1
         self._pending = None
         self._full_index = None
@@ -168,6 +185,28 @@ class DocumentClass:
             return self._previous
         return None
 
+    def integrity_ok(self, version: int) -> bool:
+        """Whether the stored base for ``version`` still matches its
+        promotion-time checksum (False = corrupted or absent)."""
+        body = self.base_for_version(version)
+        if body is None:
+            return False
+        expected = (
+            self._checksum if version == self.version else self._previous_checksum
+        )
+        return expected is not None and checksum(body) == expected
+
+    def quarantine(self) -> int:
+        """Take every stored base out of service; returns bytes freed.
+
+        Used when corruption or an encode failure is detected: the class
+        stops serving deltas immediately, serves fulls, and re-adopts a
+        fresh base (clearing the quarantine) on its next good fetch — so
+        an engine fault costs one degraded response, never a 500.
+        """
+        self.quarantined = True
+        return self.release_base()
+
     # -- index caching -----------------------------------------------------------
 
     def drop_previous(self) -> int:
@@ -181,6 +220,7 @@ class DocumentClass:
         self._previous = None
         self._previous_version = None
         self._previous_index = None
+        self._previous_checksum = None
         return freed
 
     def release_base(self) -> int:
@@ -201,6 +241,7 @@ class DocumentClass:
         self._pending = None
         self._full_index = None
         self._light_index = None
+        self._checksum = None
         return freed
 
     def full_index(self) -> BaseIndex:

@@ -47,12 +47,14 @@ from repro.delta.light import LightEstimator
 from repro.delta.vdelta import VdeltaEncoder
 from repro.http.messages import (
     HEADER_CONTENT_ENCODING,
+    HEADER_DEGRADED,
     HEADER_DELTA,
     HEADER_DELTA_BASE,
     Request,
     Response,
     base_ref,
 )
+from repro.resilience.policy import OriginUnavailable
 from repro.url.rules import RuleBook
 
 BASE_FILE_SEGMENT = "__delta_base__"
@@ -77,6 +79,14 @@ class ServerStats:
     base_file_bytes: int = 0
     group_rebases: int = 0
     basic_rebases: int = 0
+    #: degraded answers while the origin was unavailable (stale base / 502)
+    stale_served: int = 0
+    origin_unavailable: int = 0
+    #: self-healing: classes taken out of delta service, split by cause
+    quarantines: int = 0
+    integrity_failures: int = 0
+    encode_failures: int = 0
+    quarantine_recoveries: int = 0
 
     @property
     def savings(self) -> float:
@@ -105,6 +115,11 @@ class DeltaServer:
         # the engine (connection handling, I/O) stays parallel; see
         # repro.serve for the layering.
         self._lock = threading.Lock()
+        # Quarantine membership has its own tiny lock so health probes
+        # never wait behind the engine lock (which is held across origin
+        # fetches, including their retry backoff).
+        self._health_lock = threading.Lock()
+        self._quarantined: set[str] = set()
         self._rng = random.Random(self.config.seed)
         self._encoder = VdeltaEncoder()
         self._estimator = LightEstimator()
@@ -162,7 +177,12 @@ class DeltaServer:
         if base_file is not None:
             return self._serve_base_file(*base_file)
 
-        origin_response = self._origin_fetch(request, now)
+        try:
+            origin_response = self._origin_fetch(request, now)
+        except OriginUnavailable:
+            # The resilience policy gave up (circuit open, retries or
+            # deadline spent): degrade gracefully instead of failing.
+            return self._degraded_response(request)
         self.stats.requests += 1
         if (
             origin_response.status != 200
@@ -178,9 +198,15 @@ class DeltaServer:
         cls.policy.observe(document, request.user_id)
         if created or cls.raw_base is None:
             # The class is born with this response as its base-file (the
-            # simplest scheme); a storage-released class re-adopts the same
-            # way.  The policy may replace the base later.
+            # simplest scheme); a storage-released or quarantined class
+            # re-adopts the same way.  The policy may replace the base
+            # later.
+            was_quarantined = cls.quarantined
             cls.adopt_base(document, owner_user=request.user_id, now=now)
+            if was_quarantined:
+                self.stats.quarantine_recoveries += 1
+                with self._health_lock:
+                    self._quarantined.discard(cls.class_id)
         else:
             cls.feed(document, request.user_id)
             self._maybe_rebase(cls, document, request.user_id, now)
@@ -192,12 +218,72 @@ class DeltaServer:
     def class_of(self, url: str) -> DocumentClass | None:
         """The class a URL has been grouped into, if any (diagnostics)."""
         with self._lock:
-            for cls in self.grouper.classes:
-                if url in cls.members:
-                    return cls
-            return None
+            return self._find_class(url)
+
+    def _find_class(self, url: str) -> DocumentClass | None:
+        for cls in self.grouper.classes:
+            if url in cls.members:
+                return cls
+        return None
+
+    def health_snapshot(self) -> dict:
+        """Self-healing and degradation state for the health endpoint.
+
+        Deliberately avoids the engine lock (held across origin fetches,
+        including retry backoff) so a health probe never blocks behind a
+        struggling origin; counter reads are single machine words.
+        """
+        with self._health_lock:
+            quarantined = sorted(self._quarantined)
+        stats = self.stats
+        return {
+            "classes": len(self.grouper.classes),
+            "quarantined": quarantined,
+            "quarantines": stats.quarantines,
+            "quarantine_recoveries": stats.quarantine_recoveries,
+            "integrity_failures": stats.integrity_failures,
+            "encode_failures": stats.encode_failures,
+            "stale_served": stats.stale_served,
+            "origin_unavailable": stats.origin_unavailable,
+        }
 
     # -- internals ---------------------------------------------------------------
+
+    def _degraded_response(self, request: Request) -> Response:
+        """Answer without the origin: marked-stale base-file, else 502.
+
+        The class's distributable base is a complete, recently-accurate
+        document for every member URL — far better than an error page
+        while the origin recovers.  The response is explicitly marked so
+        clients and freshness checks know it is not a fresh render.
+        """
+        cls = self._find_class(request.url)
+        if (
+            cls is not None
+            and cls.can_serve_deltas
+            and cls.integrity_ok(cls.version)
+        ):
+            assert cls.distributable_base is not None
+            response = Response(status=200, body=cls.distributable_base)
+            response.headers.set(HEADER_DEGRADED, "stale-base")
+            response.headers.set("Warning", '110 - "response is stale"')
+            self.stats.stale_served += 1
+            return response
+        self.stats.origin_unavailable += 1
+        response = Response(status=502, body=b"origin unavailable")
+        response.headers.set(HEADER_DEGRADED, "origin-unavailable")
+        return response
+
+    def _quarantine(self, cls: DocumentClass, *, cause: str) -> None:
+        """Pull a class out of delta service after an engine fault."""
+        cls.quarantine()
+        self.stats.quarantines += 1
+        if cause == "integrity":
+            self.stats.integrity_failures += 1
+        else:
+            self.stats.encode_failures += 1
+        with self._health_lock:
+            self._quarantined.add(cls.class_id)
 
     def _maybe_rebase(
         self, cls: DocumentClass, document: bytes, user_id: str | None, now: float
@@ -248,7 +334,11 @@ class DeltaServer:
             if delta_response is not None:
                 delta_response.headers.set(HEADER_DELTA_BASE, current_ref)
                 return delta_response
-        return self._full_response(cls, current_ref, document)
+        # A delta attempt may have just quarantined the class (corrupted
+        # base or encoder fault): then current_ref points at a released
+        # base and must not be advertised.
+        ref = None if cls.quarantined else current_ref
+        return self._full_response(cls, ref, document)
 
     def _delta_response(
         self, cls: DocumentClass, version: int, document: bytes
@@ -256,10 +346,25 @@ class DeltaServer:
         index = cls.full_index_for(version)
         if index is None:
             return None
+        if not cls.integrity_ok(version):
+            # The stored base no longer matches its promotion checksum:
+            # storage corruption.  Quarantine before a delta against
+            # rotten bytes reaches any client.
+            self._quarantine(cls, cause="integrity")
+            return None
         ref = base_ref(cls.class_id, version)
-        result = self._encoder.encode_with_index(index, document)
-        wire = encode_delta(result.instructions, len(index.base), checksum(document))
-        payload = compress(wire, self.config.compression_level)
+        try:
+            result = self._encoder.encode_with_index(index, document)
+            wire = encode_delta(
+                result.instructions, len(index.base), checksum(document)
+            )
+            payload = compress(wire, self.config.compression_level)
+        except Exception:
+            # An encoder/codec fault costs this class its delta service
+            # (one full response now, fresh base on the next good fetch),
+            # never the request.
+            self._quarantine(cls, cause="encode")
+            return None
         controller = self._controllers[cls.class_id]
         controller.note_delta(len(wire), len(document))
         if len(payload) >= len(document):
@@ -322,6 +427,11 @@ class DeltaServer:
         body = cls.base_for_version(version)
         if body is None:
             return Response(status=404, body=b"stale base-file version")
+        if not cls.integrity_ok(version):
+            # Never distribute corrupted bytes; the class heals itself on
+            # its next document fetch.
+            self._quarantine(cls, cause="integrity")
+            return Response(status=404, body=b"base-file quarantined")
         response = Response(status=200, body=body)
         response.headers.set(HEADER_DELTA_BASE, base_ref(class_id, version))
         response.mark_cachable()

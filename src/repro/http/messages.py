@@ -16,6 +16,11 @@ Delta-specific headers:
   this delta must be applied to.
 * ``X-Accept-Delta`` — on a request: the ``"<class_id>/<version>"`` pairs
   of the base-files the client already holds.
+* ``X-Degraded`` — on a degraded response: ``"stale-base"`` when the
+  delta-server answered with the class's base-file because the origin was
+  unavailable, ``"origin-unavailable"`` on the 502 fallback.  Degraded
+  bodies are real payloads (digests match) but not fresh renders, so
+  freshness checks must skip them.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ HEADER_DELTA = "X-Delta"
 HEADER_ACCEPT_DELTA = "X-Accept-Delta"
 HEADER_CONTENT_ENCODING = "Content-Encoding"
 HEADER_CACHE_CONTROL = "Cache-Control"
+HEADER_DEGRADED = "X-Degraded"
 
 
 class Headers:
@@ -134,6 +140,11 @@ class Response:
     def base_file_ref(self) -> str | None:
         """``"<class_id>/<version>"`` identity of this base-file response."""
         return self.headers.get(HEADER_DELTA_BASE)
+
+    @property
+    def degraded(self) -> str | None:
+        """Degradation marker (``X-Degraded``), or None for fresh responses."""
+        return self.headers.get(HEADER_DEGRADED)
 
     def mark_cachable(self, max_age: int = 86400) -> None:
         """Flag the response as proxy-cachable (base-files are; deltas aren't)."""

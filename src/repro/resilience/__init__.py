@@ -1,0 +1,63 @@
+"""Resilience: fault injection, retries, circuit breaking, degradation.
+
+The paper's deployment puts the delta-server *in the request path* next
+to the origin (Fig. 2) — which means origin hiccups, slow renders, and
+corrupted base-files would otherwise take client traffic down with them.
+This package is the survival kit the live serving stack
+(:mod:`repro.serve`) threads through itself:
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`, a structured,
+  seeded, schedulable fault-injection engine (error bursts, latency
+  spikes, slow-drip, corruption, connection resets) that drives chaos
+  testing through :class:`~repro.serve.gateway.OriginGateway`;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`
+  (closed → open → half-open) so a dead origin fails fast instead of
+  hanging every worker;
+* :mod:`repro.resilience.policy` — :class:`ResilientOrigin`, bounded
+  retries with exponential backoff + jitter under a per-request deadline
+  budget; raises :class:`OriginUnavailable` when the budget is spent,
+  which the engine answers with a marked-stale base-file (when it has
+  one) and the HTTP front-end with 502 — never a raw 500.
+
+Engine-side self-healing (base-file checksums, class quarantine,
+re-adoption) lives with the engine in :mod:`repro.core`; the health
+surface (``/__health__``) lives with the server in :mod:`repro.serve`.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerStats,
+    CircuitBreaker,
+)
+from repro.resilience.faults import (
+    KINDS as FAULT_KINDS,
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    OriginResetError,
+)
+from repro.resilience.policy import (
+    OriginUnavailable,
+    ResilienceConfig,
+    ResilienceStats,
+    ResilientOrigin,
+)
+
+__all__ = [
+    "BreakerStats",
+    "CLOSED",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "HALF_OPEN",
+    "OPEN",
+    "OriginResetError",
+    "OriginUnavailable",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "ResilientOrigin",
+]

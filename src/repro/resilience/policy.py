@@ -1,0 +1,230 @@
+"""Origin resilience policy: retries, backoff, deadline budget, breaker.
+
+:class:`ResilientOrigin` wraps any ``(request, now) -> Response`` origin
+fetch (in practice :meth:`repro.serve.gateway.OriginGateway.fetch_sync`)
+with the standard in-path survival kit:
+
+* **bounded retries with exponential backoff + jitter** — a transient
+  origin error (5xx response, connection reset, render exception) is
+  retried up to ``retries`` times, pausing ``backoff_base * 2**attempt``
+  seconds (capped at ``backoff_cap``) with multiplicative jitter so
+  retry storms decorrelate;
+* **per-request deadline budget** — retrying stops when the next pause
+  would cross ``deadline`` seconds of total effort, so a request never
+  outlives the serving layer's patience just to retry;
+* **circuit breaker** — every outcome feeds a
+  :class:`~repro.resilience.breaker.CircuitBreaker`; when it opens, calls
+  fail fast with :class:`OriginUnavailable` instead of stacking worker
+  threads on a dead origin.
+
+On exhaustion — breaker open, retries spent, or deadline crossed — the
+policy raises :class:`OriginUnavailable`.  The layers above translate
+that into *graceful degradation*: the delta engine serves the class's
+current base-file as a marked-stale full response when it has one, and
+the HTTP front-end answers 502 otherwise.  Clients never see a raw 500
+because the origin blinked.
+
+The same ``now`` value is passed to every retry, so a time-dependent
+origin renders the identical snapshot on each attempt — retries are
+idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.http.messages import Request, Response
+from repro.resilience.breaker import CircuitBreaker
+
+OriginFetch = Callable[[Request, float], Response]
+
+
+class OriginUnavailable(RuntimeError):
+    """The origin cannot serve this request within the resilience budget."""
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        breaker_state: str | None = None,
+        attempts: int = 0,
+        last_status: int | None = None,
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.breaker_state = breaker_state
+        self.attempts = attempts
+        self.last_status = last_status
+
+
+@dataclass(slots=True)
+class ResilienceConfig:
+    """Knobs for the origin resilience policy (defaults are serving-safe)."""
+
+    enabled: bool = True
+    #: retry attempts after the first try
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: multiplicative jitter fraction: pause *= 1 + U(0, jitter)
+    backoff_jitter: float = 0.5
+    #: total per-request effort budget, seconds (fetches + backoff)
+    deadline: float = 10.0
+    breaker_window: int = 32
+    breaker_min_calls: int = 8
+    breaker_failure_threshold: float = 0.5
+    breaker_cooldown: float = 5.0
+    breaker_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_jitter < 0:
+            raise ValueError("backoff parameters must be >= 0")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+
+    def make_breaker(self, clock: Callable[[], float] | None = None) -> CircuitBreaker:
+        return CircuitBreaker(
+            window=self.breaker_window,
+            min_calls=self.breaker_min_calls,
+            failure_threshold=self.breaker_failure_threshold,
+            cooldown=self.breaker_cooldown,
+            probes=self.breaker_probes,
+            clock=clock,
+        )
+
+
+@dataclass(slots=True)
+class ResilienceStats:
+    """Counters for one policy instance."""
+
+    calls: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    #: calls denied instantly because the breaker was open
+    fast_fails: int = 0
+    #: calls that burned every retry without a usable response
+    exhausted: int = 0
+    #: calls whose next backoff would have crossed the deadline
+    deadline_exhausted: int = 0
+
+
+class ResilientOrigin:
+    """Retry/backoff/breaker wrapper around a blocking origin fetch."""
+
+    def __init__(
+        self,
+        fetch: OriginFetch,
+        config: ResilienceConfig | None = None,
+        *,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+        seed: int = 17,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self.breaker = breaker or self.config.make_breaker(clock)
+        self.stats = ResilienceStats()
+        self._fetch = fetch
+        self._clock = clock or time.monotonic
+        self._sleep = sleep or time.sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    # -- internals -------------------------------------------------------------
+
+    def _pause(self, attempt: int) -> float:
+        base = min(
+            self.config.backoff_cap, self.config.backoff_base * (2**attempt)
+        )
+        with self._lock:
+            jitter = self._rng.random()
+        return base * (1.0 + self.config.backoff_jitter * jitter)
+
+    @staticmethod
+    def _is_failure(response: Response) -> bool:
+        # 5xx means the origin failed to render; everything else (404s,
+        # redirects) is the origin's real answer and passes through.
+        return response.status >= 500
+
+    # -- public API ------------------------------------------------------------
+
+    def fetch_sync(self, request: Request, now: float) -> Response:
+        """Fetch with retries; raises :class:`OriginUnavailable` on defeat.
+
+        Drop-in for :meth:`OriginGateway.fetch_sync` (runs on executor
+        worker threads, so it may block in ``sleep``).
+        """
+        config = self.config
+        with self._lock:
+            self.stats.calls += 1
+        deadline = self._clock() + config.deadline
+        attempt = 0
+        last_status: int | None = None
+        last_error: Exception | None = None
+        while True:
+            if not self.breaker.allow():
+                with self._lock:
+                    self.stats.fast_fails += 1
+                raise OriginUnavailable(
+                    "circuit open",
+                    breaker_state=self.breaker.state,
+                    attempts=attempt,
+                    last_status=last_status,
+                )
+            try:
+                response = self._fetch(request, now)
+            except OriginUnavailable:
+                raise
+            except Exception as exc:
+                self.breaker.record_failure()
+                last_status, last_error = None, exc
+            else:
+                if self._is_failure(response):
+                    self.breaker.record_failure()
+                    last_status, last_error = response.status, None
+                else:
+                    self.breaker.record_success()
+                    return response
+            attempt += 1
+            if attempt > config.retries:
+                with self._lock:
+                    self.stats.exhausted += 1
+                raise OriginUnavailable(
+                    "retries exhausted",
+                    breaker_state=self.breaker.state,
+                    attempts=attempt,
+                    last_status=last_status,
+                ) from last_error
+            pause = self._pause(attempt - 1)
+            if self._clock() + pause >= deadline:
+                with self._lock:
+                    self.stats.deadline_exhausted += 1
+                raise OriginUnavailable(
+                    "deadline budget exhausted",
+                    breaker_state=self.breaker.state,
+                    attempts=attempt,
+                    last_status=last_status,
+                ) from last_error
+            with self._lock:
+                self.stats.retries += 1
+                self.stats.backoff_seconds += pause
+            self._sleep(pause)
+
+    def snapshot(self) -> dict:
+        """Policy + breaker counters for health reporting."""
+        with self._lock:
+            stats = {
+                "calls": self.stats.calls,
+                "retries": self.stats.retries,
+                "backoff_seconds": round(self.stats.backoff_seconds, 6),
+                "fast_fails": self.stats.fast_fails,
+                "exhausted": self.stats.exhausted,
+                "deadline_exhausted": self.stats.deadline_exhausted,
+            }
+        return {"policy": stats, "breaker": self.breaker.snapshot()}

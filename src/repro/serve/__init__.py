@@ -18,7 +18,8 @@ Modules:
 * :mod:`repro.serve.executor` — :class:`DeltaExecutor`, worker-pool
   offload so the event loop never blocks on the differ.
 * :mod:`repro.serve.gateway` — :class:`OriginGateway`, the bridge to the
-  origin site with injectable latency and faults.
+  origin site with injectable latency and structured fault plans
+  (:mod:`repro.resilience.faults`).
 * :mod:`repro.serve.loadgen` — :class:`LoadGenerator`, closed/open-loop
   trace replay with client-side delta reconstruction and verification.
 * :mod:`repro.serve.stats` — :class:`ServeStats`, live counters.
@@ -47,6 +48,7 @@ from repro.serve.protocol import (
     serialize_response,
 )
 from repro.serve.server import (
+    HEALTH_PATH,
     MODES,
     PAPER_CONNECTION_LIMIT,
     DeltaHTTPServer,
@@ -58,6 +60,7 @@ __all__ = [
     "DeltaExecutor",
     "DeltaHTTPServer",
     "EXECUTOR_KINDS",
+    "HEALTH_PATH",
     "FaultHook",
     "GatewayStats",
     "HEADER_BODY_DIGEST",

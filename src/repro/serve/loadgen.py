@@ -18,6 +18,15 @@ Two arrival disciplines:
   connections.  Measures behaviour under offered load independent of
   service rate (the DES sweep's discipline).
 
+Client-side resilience: with ``retries > 0`` the generator retries
+``502``/``503``/``504`` answers with capped exponential backoff
+(reconnecting when the server closed the connection), counts each retry
+per status (``retries_by_status``), and keeps verifying every byte after
+recovery — a retried request must still reconstruct exactly.  Responses
+the server marks ``X-Degraded`` (stale base-files during an origin
+outage) are counted separately and excluded from freshness verification:
+they are intentionally not fresh renders.
+
 Every response is verified client-side: delta responses must apply
 cleanly (the wire format's target checksum makes a wrong reconstruction
 impossible to miss) and all other bodies must match their
@@ -32,7 +41,7 @@ import asyncio
 import random
 import time
 import zlib
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable
 
@@ -77,6 +86,10 @@ class LoadGenConfig:
     max_requests: int | None = None
     request_timeout: float = 15.0
     verify: bool = True
+    #: retry attempts per request for 502/503/504 answers (0 = give up)
+    retries: int = 0
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 0.5
     seed: int = 11
 
     def __post_init__(self) -> None:
@@ -86,6 +99,10 @@ class LoadGenConfig:
             raise ValueError("concurrency must be >= 1")
         if self.rate <= 0:
             raise ValueError("rate must be > 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff values must be >= 0")
 
 
 @dataclass(slots=True)
@@ -104,6 +121,12 @@ class LoadReport:
     errors: int = 0
     rejected: int = 0
     timeouts: int = 0
+    #: responses the server marked X-Degraded (stale base / 502 fallback)
+    degraded: int = 0
+    #: retry attempts issued, keyed by the status that triggered them
+    retries_by_status: Counter = field(default_factory=Counter)
+    #: every response status observed (including retried attempts)
+    status_counts: Counter = field(default_factory=Counter)
     wire_bytes_in: int = 0
     wire_bytes_out: int = 0
     #: wire bytes of document responses only (excludes base-file fetches)
@@ -134,6 +157,12 @@ class LoadReport:
              f"{self.delta_failures} / {self.verify_failures}"],
             ["errors / rejected / timeouts",
              f"{self.errors} / {self.rejected} / {self.timeouts}"],
+            ["degraded responses", self.degraded],
+            ["retries (by status)",
+             ", ".join(
+                 f"{status}:{count}"
+                 for status, count in sorted(self.retries_by_status.items())
+             ) or "none"],
             ["wire bytes in / out", f"{self.wire_bytes_in} / {self.wire_bytes_out}"],
             ["document / base-file bytes",
              f"{self.document_bytes} / {self.base_bytes}"],
@@ -336,6 +365,13 @@ class LoadGenerator:
             return False
         return conn.alive
 
+    async def _reopen(self, conn: _Connection) -> None:
+        """Replace a dead connection's streams in place (for retries)."""
+        conn.close()
+        fresh = await self._connect()
+        conn.reader, conn.writer = fresh.reader, fresh.writer
+        conn.alive = True
+
     async def _fetch_document(
         self, conn: _Connection, url: str, user: str, report: LoadReport
     ) -> None:
@@ -343,13 +379,37 @@ class LoadGenerator:
         held = self._url_refs.get((user, url))
         if held is not None and held in self._base_cache:
             request.headers.set(HEADER_ACCEPT_DELTA, held)
-        started = time.perf_counter()
-        parsed = await self._roundtrip(conn, request, report)
-        latency = time.perf_counter() - started
-        response = parsed.response
-        if response.status == 503:
-            report.rejected += 1
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            parsed = await self._roundtrip(conn, request, report)
+            latency = time.perf_counter() - started
+            response = parsed.response
+            report.status_counts[response.status] += 1
+            if response.status not in (502, 503, 504):
+                break
+            if attempt < self.config.retries:
+                # Transient server-side condition: back off (capped
+                # exponential) and try again, reconnecting if the server
+                # closed the connection (503 rejections do).
+                attempt += 1
+                report.retries_by_status[response.status] += 1
+                await asyncio.sleep(
+                    min(
+                        self.config.retry_backoff_cap,
+                        self.config.retry_backoff * (2 ** (attempt - 1)),
+                    )
+                )
+                if not conn.alive:
+                    await self._reopen(conn)
+                continue
+            if response.status == 503:
+                report.rejected += 1
+            else:
+                report.errors += 1
             return
+        if response.degraded is not None:
+            report.degraded += 1
         if response.status != 200:
             report.errors += 1
             return
@@ -446,6 +506,10 @@ class LoadGenerator:
         report: LoadReport,
     ) -> None:
         if self._verify_render is None:
+            return
+        if response.degraded is not None:
+            # Stale-base degradation is intentionally not a fresh render;
+            # byte integrity was already verified via the digest.
             return
         served_at_header = response.headers.get(HEADER_SERVED_AT)
         if served_at_header is None:

@@ -57,6 +57,7 @@ REASONS = {
     408: "Request Timeout",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }

@@ -17,6 +17,14 @@ each mirroring a Section VI-C property of the paper's Apache testbed:
   slots quickly.
 * **Per-request timeout** — a dispatch exceeding ``request_timeout``
   answers ``504`` and the connection keeps serving.
+* **Origin resilience** — origin access goes through a
+  :class:`~repro.resilience.policy.ResilientOrigin` (retries with
+  backoff under a deadline budget, circuit breaker); when the policy
+  gives up, the engine degrades to a marked-stale base-file and the
+  front-end to ``502`` — a dead origin never yields raw 500s or a
+  worker pool hung on retries.
+* **Health surface** — ``GET /__health__`` reports breaker state,
+  quarantined classes, and degradation counters as JSON.
 * **Graceful drain** — ``close()`` stops accepting, lets in-flight
   connections finish for ``drain_timeout`` seconds, then cancels.
 
@@ -29,14 +37,23 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
+import logging
 import time
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import DeltaServerConfig
 from repro.core.delta_server import DeltaServer
-from repro.http.messages import Request, Response
+from repro.http.messages import HEADER_DEGRADED, Request, Response
 from repro.origin.server import OriginServer
 from repro.origin.site import SyntheticSite
+from repro.resilience.breaker import CLOSED
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import (
+    OriginUnavailable,
+    ResilienceConfig,
+    ResilientOrigin,
+)
 from repro.serve.executor import DeltaExecutor
 from repro.serve.gateway import FaultHook, OriginGateway
 from repro.serve.protocol import (
@@ -50,11 +67,17 @@ from repro.serve.protocol import (
     serialize_response,
 )
 from repro.serve.stats import ServeStats
+from repro.url.parts import split_server
+
+logger = logging.getLogger("repro.serve")
 
 MODES = ("delta", "plain")
 
 #: the paper's Apache connection ceiling (Section VI-C)
 PAPER_CONNECTION_LIMIT = 255
+
+#: path (relative to any host) answering the liveness/degradation report
+HEALTH_PATH = "__health__"
 
 
 class DeltaHTTPServer:
@@ -74,6 +97,7 @@ class DeltaHTTPServer:
         drain_timeout: float = 5.0,
         chunk_threshold: int = 16 * 1024,
         executor: DeltaExecutor | None = None,
+        resilience: ResilientOrigin | None = None,
         clock: Callable[[], float] | None = None,
     ) -> None:
         if mode not in MODES:
@@ -84,6 +108,7 @@ class DeltaHTTPServer:
             raise ValueError("max_connections must be >= 1")
         self.gateway = gateway
         self.engine = engine
+        self.resilience = resilience
         self.mode = mode
         self.max_connections = max_connections
         self.stats = ServeStats()
@@ -166,14 +191,13 @@ class DeltaHTTPServer:
         if self._closing or self._slots.locked():
             # All connection slots are taken: turn the connection away
             # (the DES capacity model's rejection path) instead of queueing.
-            self.stats.on_connection_rejected()
+            wire = serialize_response(
+                Response(status=503, body=b"connection slots exhausted"),
+                keep_alive=False,
+            )
+            self.stats.on_connection_rejected(len(wire))
             with contextlib.suppress(Exception):
-                writer.write(
-                    serialize_response(
-                        Response(status=503, body=b"connection slots exhausted"),
-                        keep_alive=False,
-                    )
-                )
+                writer.write(wire)
                 await writer.drain()
             writer.close()
             return
@@ -227,9 +251,19 @@ class DeltaHTTPServer:
             # late mutation consistent — only this response is abandoned.
             self.stats.timeouts += 1
             response = Response(status=504, body=b"request timed out")
-        except Exception:
-            # Defensive: an engine bug must cost one response, not the server.
-            self.stats.errors += 1
+        except OriginUnavailable as exc:
+            # Plain mode has no base-file to fall back on (in delta mode
+            # the engine degrades before this propagates): answer 502.
+            response = Response(status=502, body=b"origin unavailable")
+            response.headers.set(HEADER_DEGRADED, "origin-unavailable")
+            logger.warning(
+                "origin unavailable for %s: %s", parsed.request.url, exc
+            )
+        except Exception as exc:
+            # Defensive: an engine bug must cost one response, not the
+            # server — but its cause is classified and kept, not discarded.
+            self.stats.on_exception(exc)
+            logger.exception("unhandled error serving %s", parsed.request.url)
             response = Response(status=500, body=b"internal error")
         keep_alive = parsed.keep_alive and not self._closing
         try:
@@ -245,10 +279,16 @@ class DeltaHTTPServer:
 
     async def _dispatch(self, request: Request) -> Response:
         now = self.clock()
-        if self.mode == "plain":
-            response = await self._executor.run(
-                self.gateway.fetch_sync, request, now
+        _, remainder = split_server(request.url)
+        if remainder == HEALTH_PATH:
+            response = self._health_response()
+        elif self.mode == "plain":
+            fetch = (
+                self.resilience.fetch_sync
+                if self.resilience is not None
+                else self.gateway.fetch_sync
             )
+            response = await self._executor.run(fetch, request, now)
         else:
             assert self.engine is not None
             response = await self._executor.run(self.engine.handle, request, now)
@@ -259,6 +299,50 @@ class DeltaHTTPServer:
             # other body gets an integrity tag so clients can verify
             # byte-for-byte what they received.
             response.headers.set(HEADER_BODY_DIGEST, body_digest(response.body))
+        return response
+
+    def _health_response(self) -> Response:
+        """``/__health__``: breaker, quarantine, and degradation report.
+
+        Built entirely from lock-cheap snapshots (never the engine lock,
+        which is held across origin fetches), so the probe answers even
+        while the origin is down and workers are mid-backoff.
+        """
+        self.stats.health_checks += 1
+        breaker_state = (
+            self.resilience.breaker.state if self.resilience is not None else None
+        )
+        engine_health = (
+            self.engine.health_snapshot() if self.engine is not None else None
+        )
+        healthy = (breaker_state in (None, CLOSED)) and not (
+            engine_health and engine_health["quarantined"]
+        )
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "mode": self.mode,
+            "closing": self._closing,
+            "connections": {
+                "active": self.stats.active_connections,
+                "peak": self.stats.peak_connections,
+                "rejected": self.stats.connections_rejected,
+                "slots": self.max_connections,
+            },
+            "requests": self.stats.requests,
+            "degraded": {
+                "stale": self.stats.degraded_stale,
+                "unavailable": self.stats.degraded_unavailable,
+            },
+            "exceptions": dict(self.stats.exception_counts),
+            "resilience": (
+                self.resilience.snapshot() if self.resilience is not None else None
+            ),
+            "engine": engine_health,
+        }
+        response = Response(
+            status=200, body=json.dumps(payload, sort_keys=True).encode()
+        )
+        response.headers.set("Content-Type", "application/json")
         return response
 
     async def _write(
@@ -284,6 +368,8 @@ def build_server(
     origin_latency: float = 0.0,
     origin_jitter: float = 0.0,
     fault_hook: FaultHook | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
     executor_kind: str = "thread",
     executor_workers: int | None = None,
     **server_kwargs: object,
@@ -292,7 +378,10 @@ def build_server(
 
     Mirrors :class:`repro.simulation.engine.Simulation`'s wiring — origin,
     admin rulebook from each site's hint pattern, engine — but in front of
-    real sockets instead of the simulated clock.
+    real sockets instead of the simulated clock.  Origin access goes
+    through a :class:`ResilientOrigin` (retries, backoff, circuit breaker,
+    degradation) by default; pass ``ResilienceConfig(enabled=False)`` for
+    the raw gateway.
     """
     from repro.url.rules import RuleBook
 
@@ -303,14 +392,27 @@ def build_server(
         latency=origin_latency,
         jitter=origin_jitter,
         fault_hook=fault_hook,
+        fault_plan=fault_plan,
     )
+    resilience_config = resilience or ResilienceConfig()
+    resilient = (
+        ResilientOrigin(gateway.fetch_sync, resilience_config)
+        if resilience_config.enabled
+        else None
+    )
+    origin_fetch = resilient.fetch_sync if resilient is not None else gateway.fetch_sync
     engine = None
     if mode == "delta":
         rulebook = RuleBook()
         for site in site_list:
             rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
-        engine = DeltaServer(gateway.fetch_sync, config, rulebook)
+        engine = DeltaServer(origin_fetch, config, rulebook)
     executor = DeltaExecutor(executor_kind, max_workers=executor_workers)
     return DeltaHTTPServer(
-        gateway, engine, mode=mode, executor=executor, **server_kwargs  # type: ignore[arg-type]
+        gateway,
+        engine,
+        mode=mode,
+        executor=executor,
+        resilience=resilient,
+        **server_kwargs,  # type: ignore[arg-type]
     )

@@ -11,6 +11,7 @@ same aligned tables every benchmark emits.
 
 from __future__ import annotations
 
+import traceback
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -37,7 +38,15 @@ class ServeStats:
     protocol_errors: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: degraded answers: marked-stale base-files and 502 fallbacks
+    degraded_stale: int = 0
+    degraded_unavailable: int = 0
+    health_checks: int = 0
     status_counts: Counter = field(default_factory=Counter)
+    #: unhandled dispatch exceptions, classified by exception type name
+    exception_counts: Counter = field(default_factory=Counter)
+    #: formatted traceback of the most recent unhandled exception
+    last_error: str | None = None
     latencies: LatencySample = field(default_factory=LatencySample)
     response_sizes: SizeSample = field(default_factory=SizeSample)
 
@@ -48,11 +57,24 @@ class ServeStats:
         self.active_connections += 1
         self.peak_connections = max(self.peak_connections, self.active_connections)
 
-    def on_connection_rejected(self) -> None:
+    def on_connection_rejected(self, wire_bytes: int = 0) -> None:
+        """A connection turned away with 503; the rejection response is
+        real wire traffic, so it lands in the byte/status accounting."""
         self.connections_rejected += 1
+        if wire_bytes:
+            self.bytes_out += wire_bytes
+            self.status_counts[503] += 1
 
     def on_connection_close(self) -> None:
         self.active_connections -= 1
+
+    def on_exception(self, exc: BaseException) -> None:
+        """Classify an unhandled dispatch exception by type, keeping the
+        formatted traceback for diagnostics instead of discarding it."""
+        self.exception_counts[type(exc).__name__] += 1
+        self.last_error = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
 
     def on_response(
         self, response: Response, wire_bytes: int, latency_seconds: float | None
@@ -65,6 +87,11 @@ class ServeStats:
             self.latencies.add(latency_seconds)
         if response.status >= 500:
             self.errors += 1
+        degraded = response.degraded
+        if degraded == "stale-base":
+            self.degraded_stale += 1
+        elif degraded is not None:
+            self.degraded_unavailable += 1
         if response.status != 200:
             return
         if response.is_delta:
@@ -92,6 +119,13 @@ class ServeStats:
              f"{self.deltas_served} / {self.full_documents} / {self.base_files_served}"],
             ["errors / timeouts / protocol errors",
              f"{self.errors} / {self.timeouts} / {self.protocol_errors}"],
+            ["degraded stale / unavailable",
+             f"{self.degraded_stale} / {self.degraded_unavailable}"],
+            ["exceptions by type",
+             ", ".join(
+                 f"{name}:{count}"
+                 for name, count in sorted(self.exception_counts.items())
+             ) or "none"],
             ["bytes in / out", f"{self.bytes_in} / {self.bytes_out}"],
             ["mean response body", f"{self.response_sizes.mean:.0f} B"],
             ["latency mean / p50 / p99",

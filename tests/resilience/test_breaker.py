@@ -1,0 +1,172 @@
+"""Tests for the origin circuit breaker (repro.resilience.breaker)."""
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(clock: FakeClock, **kwargs) -> CircuitBreaker:
+    defaults = dict(
+        window=8, min_calls=4, failure_threshold=0.5, cooldown=2.0, probes=2
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults)
+
+
+def trip(breaker: CircuitBreaker, failures: int = 4) -> None:
+    for _ in range(failures):
+        breaker.record_failure()
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=4, min_calls=8)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=1.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probes=0)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.stats.fast_fails == 0
+
+    def test_does_not_open_below_min_calls(self):
+        breaker = make(FakeClock())
+        trip(breaker, failures=3)  # min_calls=4
+        assert breaker.state == CLOSED
+
+    def test_opens_at_failure_threshold(self):
+        breaker = make(FakeClock())
+        breaker.record_success()
+        breaker.record_success()
+        trip(breaker, failures=2)  # 2/4 = 0.5 >= threshold
+        assert breaker.state == OPEN
+        assert breaker.stats.opened == 1
+
+    def test_stays_closed_below_threshold(self):
+        breaker = make(FakeClock())
+        for _ in range(6):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()  # 2/8 = 0.25 < 0.5
+        assert breaker.state == CLOSED
+
+    def test_window_slides(self):
+        breaker = make(FakeClock(), window=4, min_calls=4)
+        trip(breaker, failures=2)
+        # Push the failures out of the 4-slot window with successes.
+        for _ in range(4):
+            breaker.record_success()
+        assert breaker.failure_rate() == 0.0
+
+    def test_failure_rate(self):
+        breaker = make(FakeClock())
+        assert breaker.failure_rate() == 0.0
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.failure_rate() == 0.5
+
+
+class TestOpen:
+    def test_open_fast_fails(self):
+        breaker = make(FakeClock())
+        trip(breaker)
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.stats.fast_fails == 2
+
+    def test_failures_while_open_do_not_restart_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(1.5)
+        breaker.record_success()  # straggler from before the trip
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.stats.half_opens == 1
+
+    def test_probe_budget(self):
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probe slots exhausted
+        assert breaker.stats.fast_fails == 1
+
+    def test_probe_successes_close(self):
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one probe is not enough
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats.reclosed == 1
+        # The window was cleared: old failures cannot re-trip the breaker.
+        assert breaker.failure_rate() == 0.0
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.stats.opened == 2
+        assert not breaker.allow()
+        # A fresh cooldown is required before probing again.
+        clock.advance(2.0)
+        assert breaker.allow()
+
+    def test_full_cycle_snapshot(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["opened"] == 1
+        assert snap["reclosed"] == 1
+        assert snap["half_opens"] == 1
+        assert snap["window_size"] == 0

@@ -1,0 +1,162 @@
+"""Tests for the structured fault-injection engine (repro.resilience.faults)."""
+
+import pytest
+
+from repro.http.messages import Request, Response
+from repro.resilience.faults import (
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    OriginResetError,
+)
+
+
+def req(url: str = "www.f.example/page?id=1") -> Request:
+    return Request(url=url)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="explode")
+        with pytest.raises(ValueError):
+            FaultRule(kind="error", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(kind="latency", delay=-0.1)
+        with pytest.raises(ValueError):
+            FaultRule(kind="corrupt", flips=0)
+        with pytest.raises(ValueError):
+            FaultRule(kind="error", start=5.0, end=1.0)
+
+    def test_window_activation(self):
+        rule = FaultRule(kind="error", start=10.0, end=20.0)
+        assert not rule.active(9.9)
+        assert rule.active(10.0)
+        assert rule.active(19.9)
+        assert not rule.active(20.0)
+
+    def test_default_name_is_kind(self):
+        assert FaultRule(kind="reset").name == "reset"
+        assert FaultRule(kind="reset", name="rst1").name == "rst1"
+
+
+class TestFaultPlan:
+    def test_error_rule_injects_response(self):
+        plan = FaultPlan([FaultRule(kind="error", status=500, body=b"boom")])
+        action = plan.decide(req())
+        assert action.response is not None
+        assert action.response.status == 500
+        assert action.response.body == b"boom"
+        assert plan.injected["error"] == 1
+
+    def test_rate_is_seeded_and_partial(self):
+        plan = FaultPlan([FaultRule(kind="error", rate=0.3)], seed=5)
+        hits = sum(1 for _ in range(400) if plan.decide(req()).response)
+        # Seeded: the exact count is reproducible run to run.
+        replay = FaultPlan([FaultRule(kind="error", rate=0.3)], seed=5)
+        replay_hits = sum(1 for _ in range(400) if replay.decide(req()).response)
+        assert hits == replay_hits
+        assert 0.2 * 400 < hits < 0.4 * 400
+
+    def test_url_filter(self):
+        plan = FaultPlan([FaultRule(kind="error", match="id=7")])
+        assert plan.decide(req("www.f.example/p?id=1")).response is None
+        assert plan.decide(req("www.f.example/p?id=7")).response is not None
+
+    def test_window_uses_plan_clock(self):
+        clock = FakeClock()
+        plan = FaultPlan(
+            [FaultRule(kind="error", start=5.0, end=10.0)], clock=clock
+        )
+        plan.arm()
+        assert plan.decide(req()).response is None  # elapsed 0 < start
+        clock.now = 6.0
+        assert plan.decide(req()).response is not None
+        clock.now = 12.0
+        assert plan.decide(req()).response is None  # window closed
+
+    def test_latency_and_jitter_compose(self):
+        plan = FaultPlan(
+            [
+                FaultRule(kind="latency", delay=0.1),
+                FaultRule(kind="latency", delay=0.2, jitter=0.1),
+            ]
+        )
+        action = plan.decide(req())
+        assert 0.3 <= action.pre_delay <= 0.4
+
+    def test_reset_raises_fresh_exception_objects(self):
+        plan = FaultPlan([FaultRule(kind="reset")])
+        first = plan.decide(req()).exception
+        second = plan.decide(req()).exception
+        assert isinstance(first, OriginResetError)
+        assert first is not second
+
+    def test_corrupt_mangles_seeded(self):
+        plan = FaultPlan([FaultRule(kind="corrupt", flips=3)], seed=9)
+        action = plan.decide(req())
+        assert action.corrupt_flips == 3
+        body = b"x" * 100
+        mangled = plan.mangle(body, action.corrupt_flips)
+        assert mangled != body
+        assert len(mangled) == len(body)
+        assert sum(1 for a, b in zip(body, mangled) if a != b) <= 3
+
+    def test_drip_composes_to_slowest(self):
+        plan = FaultPlan(
+            [FaultRule(kind="drip", bps=1000.0), FaultRule(kind="drip", bps=200.0)]
+        )
+        assert plan.decide(req()).drip_bps == 200.0
+
+    def test_disabled_plan_is_inert(self):
+        plan = FaultPlan([FaultRule(kind="error")], enabled=False)
+        assert plan.decide(req()).is_noop
+        plan.enable()
+        assert plan.decide(req()).response is not None
+        plan.disable()
+        assert plan.decide(req()).is_noop
+
+    def test_noop_action(self):
+        assert FaultAction().is_noop
+        assert not FaultAction(pre_delay=0.1).is_noop
+
+
+class TestParse:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "error:rate=0.1,status=503,body=down;"
+            "latency:rate=0.5,delay=0.2,jitter=0.1;"
+            "corrupt:rate=0.05,flips=2,match=id=3;"
+            "reset:rate=0.01,start=5,end=9,name=blip"
+        )
+        kinds = [rule.kind for rule in plan.rules]
+        assert kinds == ["error", "latency", "corrupt", "reset"]
+        error, latency, corrupt, reset = plan.rules
+        assert error.rate == 0.1 and error.status == 503 and error.body == b"down"
+        assert latency.delay == 0.2 and latency.jitter == 0.1
+        assert corrupt.flips == 2 and corrupt.match == "id=3"
+        assert reset.start == 5.0 and reset.end == 9.0 and reset.name == "blip"
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("error:rate")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("error:wat=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("kaboom:rate=1")
+
+    def test_describe_round_trips_the_shape(self):
+        plan = FaultPlan.parse("error:rate=0.1;latency:delay=0.2,start=5,end=9")
+        text = plan.describe()
+        assert "error:0.1" in text
+        assert "@[5,9)" in text

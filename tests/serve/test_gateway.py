@@ -8,6 +8,7 @@ import pytest
 from repro.http.messages import Request, Response
 from repro.origin.server import OriginServer
 from repro.origin.site import SiteSpec, SyntheticSite
+from repro.resilience.faults import FaultPlan, FaultRule, OriginResetError
 from repro.serve.gateway import OriginGateway
 
 
@@ -75,3 +76,73 @@ def test_negative_latency_rejected(origin):
         OriginGateway(origin, latency=-1.0)
     with pytest.raises(ValueError):
         OriginGateway(origin, jitter=-0.1)
+
+
+def test_raising_fault_hook_becomes_injected_500(origin):
+    calls = []
+
+    def hook(request: Request) -> Response | None:
+        calls.append(request.url)
+        raise RuntimeError("hook bug")
+
+    gateway = OriginGateway(origin, fault_hook=hook)
+    response = gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert response.status == 500
+    assert response.body == b"fault hook raised"
+    assert gateway.stats.hook_failures == 1
+    assert gateway.stats.faults_injected == 0
+    assert len(calls) == 1
+    # The gateway survives: the next fetch works normally.
+    assert gateway.stats.fetches == 1
+
+
+def test_fault_plan_error_rule(origin):
+    plan = FaultPlan([FaultRule(kind="error", status=502, body=b"down")])
+    gateway = OriginGateway(origin, fault_plan=plan)
+    response = gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert response.status == 502 and response.body == b"down"
+    assert gateway.stats.faults_injected == 1
+
+
+def test_fault_plan_reset_rule(origin):
+    plan = FaultPlan([FaultRule(kind="reset")])
+    gateway = OriginGateway(origin, fault_plan=plan)
+    with pytest.raises(OriginResetError):
+        gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert gateway.stats.resets_injected == 1
+    # The lock was released on the raise: the gateway still works once
+    # the plan is disabled.
+    plan.disable()
+    assert gateway.fetch_sync(Request(url=first_url(origin)), now=0.0).status == 200
+
+
+def test_fault_plan_corruption_mangles_body(origin):
+    plan = FaultPlan([FaultRule(kind="corrupt", flips=4)])
+    gateway = OriginGateway(origin, fault_plan=plan)
+    request = Request(url=first_url(origin))
+    clean = OriginGateway(origin).fetch_sync(request, now=0.0)
+    mangled = gateway.fetch_sync(request, now=0.0)
+    assert mangled.status == 200
+    assert mangled.body != clean.body
+    assert len(mangled.body) == len(clean.body)
+    assert gateway.stats.corruptions_injected == 1
+
+
+def test_fault_plan_drip_slows_response(origin):
+    plan = FaultPlan([FaultRule(kind="drip", bps=200_000.0)])
+    gateway = OriginGateway(origin, fault_plan=plan)
+    started = time.perf_counter()
+    response = gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    elapsed = time.perf_counter() - started
+    expected = len(response.body) / 200_000.0
+    assert elapsed >= expected
+    assert gateway.stats.drip_seconds >= expected
+
+
+def test_fault_plan_latency_adds_pre_delay(origin):
+    plan = FaultPlan([FaultRule(kind="latency", delay=0.03)])
+    gateway = OriginGateway(origin, fault_plan=plan)
+    started = time.perf_counter()
+    gateway.fetch_sync(Request(url=first_url(origin)), now=0.0)
+    assert time.perf_counter() - started >= 0.03
+    assert gateway.stats.injected_latency_seconds >= 0.03

@@ -1,0 +1,331 @@
+"""Live-socket resilience tests: health endpoint, degradation, client retries.
+
+The chaos-soak acceptance scenario lives in
+``tests/integration/test_chaos_soak.py``; these tests pin each resilience
+surface individually over real connections.
+"""
+
+import asyncio
+import json
+
+from repro.core.config import AnonymizationConfig, DeltaServerConfig
+from repro.http.messages import Request
+from repro.origin.site import SiteSpec, SyntheticSite
+from repro.resilience.breaker import CLOSED, OPEN
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.resilience.policy import ResilienceConfig
+from repro.serve import (
+    HEALTH_PATH,
+    LoadGenConfig,
+    LoadGenerator,
+    build_server,
+    read_response,
+    serialize_request,
+)
+from repro.serve.server import DeltaHTTPServer
+from repro.workload.generator import WorkloadSpec, generate_workload
+
+SITE = "www.res.example"
+
+
+def make_spec(**overrides) -> SiteSpec:
+    defaults = dict(name=SITE, products_per_category=3)
+    defaults.update(overrides)
+    return SiteSpec(**defaults)
+
+
+def make_server(**kwargs) -> DeltaHTTPServer:
+    spec = kwargs.pop("spec", None) or make_spec()
+    kwargs.setdefault(
+        "config",
+        DeltaServerConfig(
+            anonymization=AnonymizationConfig(enabled=True, documents=2, min_count=1)
+        ),
+    )
+    return build_server([SyntheticSite(spec)], **kwargs)
+
+
+class Client:
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def get(self, url: str, user: str = "u1"):
+        if self.reader is None:
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        request = Request(url=url, cookies={"uid": user}, client_id=user)
+        self.writer.write(serialize_request(request))
+        await self.writer.drain()
+        parsed = await asyncio.wait_for(read_response(self.reader), 10.0)
+        if not parsed.keep_alive:
+            self.close()
+        return parsed.response
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            self.reader = self.writer = None
+
+
+def page_url(server: DeltaHTTPServer) -> str:
+    site = server.gateway.origin.site(SITE)
+    return site.url_for(site.all_pages()[0])
+
+
+async def warm_up(client: Client, url: str, users=("u1", "u2", "u3")) -> None:
+    for user in users:
+        response = await client.get(url, user=user)
+        assert response.status == 200
+
+
+class TestHealthEndpoint:
+    def test_health_reports_ok_over_the_wire(self):
+        async def main():
+            async with make_server() as server:
+                client = Client(*server.address)
+                try:
+                    await client.get(page_url(server), user="u1")
+                    response = await client.get(f"{SITE}/{HEALTH_PATH}")
+                finally:
+                    client.close()
+                assert response.status == 200
+                assert response.headers.get("Content-Type") == "application/json"
+                payload = json.loads(response.body)
+                assert payload["status"] == "ok"
+                assert payload["mode"] == "delta"
+                assert payload["requests"] >= 1
+                assert payload["resilience"]["breaker"]["state"] == CLOSED
+                assert payload["engine"]["quarantined"] == []
+                assert server.stats.health_checks == 1
+
+        asyncio.run(main())
+
+    def test_health_answers_while_origin_is_down(self):
+        """The probe must not block behind the engine lock while workers
+        are stuck in origin retry backoff."""
+        plan = FaultPlan([FaultRule(kind="error", status=500)], enabled=False)
+
+        async def main():
+            async with make_server(
+                fault_plan=plan,
+                resilience=ResilienceConfig(
+                    retries=8, backoff_base=0.2, backoff_cap=0.5,
+                    breaker_window=64, breaker_min_calls=50,
+                ),
+            ) as server:
+                url = page_url(server)
+                plan.enable()
+
+                async def doomed():
+                    client = Client(*server.address)
+                    try:
+                        return await client.get(url, user="u1")
+                    finally:
+                        client.close()
+
+                task = asyncio.ensure_future(doomed())
+                await asyncio.sleep(0.1)  # the worker is now mid-backoff
+                probe = Client(*server.address)
+                try:
+                    started = asyncio.get_running_loop().time()
+                    response = await probe.get(f"{SITE}/{HEALTH_PATH}")
+                    elapsed = asyncio.get_running_loop().time() - started
+                finally:
+                    probe.close()
+                plan.disable()
+                await task
+                assert response.status == 200
+                assert elapsed < 0.5, f"health probe blocked {elapsed:.2f}s"
+
+        asyncio.run(main())
+
+
+class TestDegradation:
+    def test_breaker_opens_and_stale_base_is_served(self):
+        plan = FaultPlan([FaultRule(kind="error", status=500)], enabled=False)
+        resilience = ResilienceConfig(
+            retries=0,
+            breaker_window=8,
+            breaker_min_calls=3,
+            breaker_failure_threshold=0.5,
+            breaker_cooldown=30.0,  # stays open for the whole test
+        )
+
+        async def main():
+            async with make_server(fault_plan=plan, resilience=resilience) as server:
+                url = page_url(server)
+                client = Client(*server.address)
+                try:
+                    await warm_up(client, url)  # class now has a base-file
+                    plan.enable()
+                    # Each failed fetch counts; after min_calls the breaker
+                    # opens and requests degrade without touching the origin.
+                    stale = None
+                    for i in range(6):
+                        stale = await client.get(url, user=f"d{i}")
+                        assert stale.status == 200
+                        assert stale.degraded == "stale-base"
+                    assert server.resilience.breaker.state == OPEN
+                    fetches_at_open = server.gateway.stats.fetches
+                    again = await client.get(url, user="d9")
+                    assert again.degraded == "stale-base"
+                    assert server.gateway.stats.fetches == fetches_at_open
+                    # The health endpoint reflects the outage.
+                    health = await client.get(f"{SITE}/{HEALTH_PATH}")
+                    payload = json.loads(health.body)
+                    assert payload["status"] == "degraded"
+                    assert payload["resilience"]["breaker"]["state"] == OPEN
+                    assert payload["engine"]["stale_served"] >= 1
+                finally:
+                    client.close()
+                assert server.stats.degraded_stale >= 6
+                assert server.stats.status_counts.get(500, 0) == 0
+
+        asyncio.run(main())
+
+    def test_breaker_recloses_after_origin_recovers(self):
+        plan = FaultPlan([FaultRule(kind="error", status=500)], enabled=False)
+        resilience = ResilienceConfig(
+            retries=0,
+            breaker_window=8,
+            breaker_min_calls=3,
+            breaker_cooldown=0.2,
+            breaker_probes=2,
+        )
+
+        async def main():
+            async with make_server(fault_plan=plan, resilience=resilience) as server:
+                url = page_url(server)
+                client = Client(*server.address)
+                try:
+                    await warm_up(client, url)
+                    plan.enable()
+                    for i in range(4):
+                        await client.get(url, user=f"d{i}")
+                    assert server.resilience.breaker.state == OPEN
+                    plan.disable()  # origin is healthy again
+                    await asyncio.sleep(0.25)  # cooldown elapses
+                    # Probe traffic closes the breaker again.
+                    for i in range(3):
+                        response = await client.get(url, user=f"r{i}")
+                        assert response.status == 200
+                    assert server.resilience.breaker.state == CLOSED
+                    assert server.resilience.breaker.stats.reclosed == 1
+                finally:
+                    client.close()
+
+        asyncio.run(main())
+
+    def test_plain_mode_answers_502_when_origin_dead(self):
+        plan = FaultPlan([FaultRule(kind="error", status=500)])
+        resilience = ResilienceConfig(retries=0, breaker_min_calls=3)
+
+        async def main():
+            async with make_server(
+                mode="plain", fault_plan=plan, resilience=resilience
+            ) as server:
+                client = Client(*server.address)
+                try:
+                    response = await client.get(page_url(server), user="u1")
+                finally:
+                    client.close()
+                assert response.status == 502
+                assert response.degraded == "origin-unavailable"
+                # The raw injected 500 never reached the client.
+                assert server.stats.status_counts.get(500, 0) == 0
+                assert server.stats.degraded_unavailable == 1
+
+        asyncio.run(main())
+
+
+class TestLoadgenResilience:
+    def _workload(self, requests: int, seed: int = 9):
+        return generate_workload(
+            [SyntheticSite(make_spec())],
+            WorkloadSpec(
+                name="resilient",
+                requests=requests,
+                users=4,
+                duration=20.0,
+                revisit_bias=0.7,
+                seed=seed,
+            ),
+        )
+
+    def test_retries_recover_503_rejections(self):
+        """Overflow 503s (connection slots) are retried with backoff and
+        every byte still verifies after recovery."""
+        workload = self._workload(requests=40)
+
+        async def main():
+            async with make_server(max_connections=2) as server:
+                host, port = server.address
+                generator = LoadGenerator(
+                    LoadGenConfig(
+                        host=host, port=port, mode="closed", concurrency=6,
+                        retries=10, retry_backoff=0.02, retry_backoff_cap=0.2,
+                    )
+                )
+                return await generator.run(workload.trace), server.stats
+
+        report, stats = asyncio.run(main())
+        assert report.completed == 40
+        assert report.rejected == 0  # every rejection was retried through
+        assert report.errors == 0
+        assert report.verify_failures == 0
+        assert report.delta_failures == 0
+        assert report.retries_by_status.get(503, 0) > 0
+        assert report.status_counts.get(503, 0) == report.retries_by_status[503]
+        assert stats.connections_rejected > 0
+
+    def test_retries_ride_out_an_origin_error_burst(self):
+        """A windowed 100% error burst at startup: clients retry 502s
+        until the window passes, then everything completes and verifies."""
+        workload = self._workload(requests=12, seed=3)
+        plan = FaultPlan([FaultRule(kind="error", status=500, end=0.4)])
+        resilience = ResilienceConfig(
+            # The burst must not trip the breaker in this test.
+            retries=0, breaker_window=1000, breaker_min_calls=1000,
+        )
+
+        async def main():
+            async with make_server(fault_plan=plan, resilience=resilience) as server:
+                plan.arm()
+                host, port = server.address
+                generator = LoadGenerator(
+                    LoadGenConfig(
+                        host=host, port=port, mode="closed", concurrency=2,
+                        retries=8, retry_backoff=0.1, retry_backoff_cap=0.4,
+                    )
+                )
+                return await generator.run(workload.trace)
+
+        report = asyncio.run(main())
+        assert report.completed == 12
+        assert report.errors == 0
+        assert report.verify_failures == 0
+        assert report.retries_by_status.get(502, 0) > 0
+        assert report.status_counts.get(500, 0) == 0  # degradation shields 500s
+
+    def test_zero_retries_still_reports_rejections(self):
+        workload = self._workload(requests=30, seed=5)
+
+        async def main():
+            async with make_server(max_connections=1) as server:
+                host, port = server.address
+                generator = LoadGenerator(
+                    LoadGenConfig(
+                        host=host, port=port, mode="closed", concurrency=5,
+                        retries=0,
+                    )
+                )
+                return await generator.run(workload.trace)
+
+        report = asyncio.run(main())
+        assert report.requests == 30
+        assert report.completed + report.rejected + report.errors >= 30
+        assert not report.retries_by_status

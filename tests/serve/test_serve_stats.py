@@ -1,6 +1,11 @@
 """Tests for the live serving counters (repro.serve.stats)."""
 
-from repro.http.messages import HEADER_DELTA, HEADER_DELTA_BASE, Response
+from repro.http.messages import (
+    HEADER_DEGRADED,
+    HEADER_DELTA,
+    HEADER_DELTA_BASE,
+    Response,
+)
 from repro.serve.stats import ServeStats
 
 
@@ -64,3 +69,61 @@ def test_throughput_and_render():
     text = stats.render(now=105.0)
     assert "2.0 req/s" in text
     assert "requests / responses" in text
+
+
+def test_rejection_bytes_and_status_accounted():
+    stats = ServeStats()
+    stats.on_connection_rejected(wire_bytes=120)
+    assert stats.connections_rejected == 1
+    assert stats.bytes_out == 120
+    assert stats.status_counts[503] == 1
+    # The legacy no-argument form still only counts the rejection.
+    stats.on_connection_rejected()
+    assert stats.connections_rejected == 2
+    assert stats.bytes_out == 120
+    assert stats.status_counts[503] == 1
+
+
+def test_exception_classification():
+    stats = ServeStats()
+    try:
+        raise ValueError("bad input")
+    except ValueError as exc:
+        stats.on_exception(exc)
+    try:
+        raise ValueError("again")
+    except ValueError as exc:
+        stats.on_exception(exc)
+    try:
+        raise KeyError("missing")
+    except KeyError as exc:
+        stats.on_exception(exc)
+    assert stats.exception_counts["ValueError"] == 2
+    assert stats.exception_counts["KeyError"] == 1
+    assert "KeyError" in stats.last_error
+    assert "missing" in stats.last_error
+
+
+def test_degraded_responses_counted():
+    stats = ServeStats()
+    stale = Response(status=200, body=b"old base")
+    stale.headers.set(HEADER_DEGRADED, "stale-base")
+    unavailable = Response(status=502, body=b"origin down")
+    unavailable.headers.set(HEADER_DEGRADED, "origin-unavailable")
+    stats.on_response(stale, wire_bytes=100, latency_seconds=0.001)
+    stats.on_response(unavailable, wire_bytes=60, latency_seconds=0.001)
+    assert stats.degraded_stale == 1
+    assert stats.degraded_unavailable == 1
+    # The 502 counts as an error; the stale 200 does not.
+    assert stats.errors == 1
+
+
+def test_render_includes_resilience_rows():
+    stats = ServeStats()
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError as exc:
+        stats.on_exception(exc)
+    text = stats.render()
+    assert "degraded stale / unavailable" in text
+    assert "RuntimeError:1" in text

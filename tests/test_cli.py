@@ -150,6 +150,22 @@ class TestServeAndLoadgen:
         assert code == 0  # verify failures are the only failure signal
         assert "requests / completed" in output
 
+    def test_loadgen_strict_fails_on_errors(self, tmp_path, capsys):
+        import socket
+
+        trace_path = tmp_path / "t.log"
+        main(["trace-gen", "--requests", "5", "--users", "2", "--out", str(trace_path)])
+        capsys.readouterr()
+        with socket.socket() as probe:  # a port with no listener behind it
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        code = main(
+            ["loadgen", str(trace_path), "--port", str(port),
+             "--concurrency", "1", "--strict"]
+        )
+        capsys.readouterr()
+        assert code == 1  # --strict: connection errors fail the run
+
 
 class TestTraceStats:
     def test_stats_of_generated_trace(self, tmp_path, capsys):
