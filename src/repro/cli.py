@@ -221,6 +221,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 ):
                     loop.add_signal_handler(sig, stop.set)
             serving = asyncio.ensure_future(server.serve_forever())
+            snapshot_task = None
+            if args.metrics_interval:
+                async def log_snapshots() -> None:
+                    while True:
+                        await asyncio.sleep(args.metrics_interval)
+                        print(server.stats.snapshot_line(server.clock()), flush=True)
+
+                snapshot_task = asyncio.ensure_future(log_snapshots())
             try:
                 while not stop.is_set():
                     if (
@@ -232,6 +240,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         await asyncio.wait_for(stop.wait(), 0.2)
             finally:
                 serving.cancel()
+                if snapshot_task is not None:
+                    snapshot_task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await snapshot_task
                 with contextlib.suppress(asyncio.CancelledError):
                     await serving
             print(server.stats.render(server.clock()), flush=True)
@@ -359,6 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--anon-m", type=int, default=1, help="anonymization M")
     serve.add_argument("--max-requests", type=int, default=None,
                        help="exit after serving this many requests")
+    serve.add_argument("--metrics-interval", type=float, default=0.0,
+                       help="log a one-line stats snapshot every N seconds "
+                            "(0 disables)")
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser("loadgen", help="replay a trace against a live server")

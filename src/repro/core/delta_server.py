@@ -33,6 +33,7 @@ import itertools
 import random
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.core.classes import DocumentClass
@@ -50,16 +51,39 @@ from repro.http.messages import (
     HEADER_DEGRADED,
     HEADER_DELTA,
     HEADER_DELTA_BASE,
+    HEADER_STAGE_TIMES,
     Request,
     Response,
     base_ref,
 )
+from repro.metrics.registry import MetricsRegistry
 from repro.resilience.policy import OriginUnavailable
 from repro.url.rules import RuleBook
 
 BASE_FILE_SEGMENT = "__delta_base__"
 
 OriginFetch = Callable[[Request, float], Response]
+
+
+def format_stage_times(timings: dict[str, float]) -> str:
+    """Render per-stage durations for the ``X-Stage-Times`` header."""
+    return ";".join(f"{stage}={seconds:.6f}" for stage, seconds in timings.items())
+
+
+def parse_stage_times(value: str | None) -> dict[str, float]:
+    """Inverse of :func:`format_stage_times`; tolerant of malformed tokens."""
+    timings: dict[str, float] = {}
+    if not value:
+        return timings
+    for token in value.split(";"):
+        stage, sep, seconds = token.partition("=")
+        if not sep:
+            continue
+        try:
+            timings[stage.strip()] = float(seconds)
+        except ValueError:
+            continue
+    return timings
 
 
 @dataclass(slots=True)
@@ -104,9 +128,15 @@ class DeltaServer:
         origin_fetch: OriginFetch,
         config: DeltaServerConfig | None = None,
         rulebook: RuleBook | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or DeltaServerConfig()
         self._origin_fetch = origin_fetch
+        #: observability sink: per-stage pipeline timings land here as
+        #: ``engine_stage_seconds{stage=...}`` histograms (shared with the
+        #: serving layer when wired through ``build_server``).
+        self.metrics = metrics or MetricsRegistry()
         # One engine instance may be driven from many threads (the live
         # asyncio server offloads `handle` to a worker pool).  The class
         # map, base-file stores, and counters are mutated per request, so
@@ -168,21 +198,49 @@ class DeltaServer:
 
         Thread-safe: concurrent callers serialize on the engine lock (the
         whole request pipeline mutates shared class state).
-        """
-        with self._lock:
-            return self._handle_locked(request, now)
 
-    def _handle_locked(self, request: Request, now: float) -> Response:
+        Each request's pipeline stages (lock wait, class lookup, origin
+        fetch, encode, compress) are timed into the engine's metrics
+        registry and attached to the response as ``X-Stage-Times`` so a
+        slow request can be correlated (via ``X-Trace-Id``) with the
+        stage that cost it.
+        """
+        timings: dict[str, float] = {}
+        entered = perf_counter()
+        with self._lock:
+            acquired = perf_counter()
+            response = self._handle_locked(request, now, timings)
+        timings["lock_wait"] = acquired - entered
+        if timings:
+            response.headers.set(HEADER_STAGE_TIMES, format_stage_times(timings))
+            for stage, seconds in timings.items():
+                self.metrics.observe(
+                    "engine_stage_seconds",
+                    seconds,
+                    {"stage": stage},
+                    help="per-request delta-server pipeline stage durations",
+                )
+        return response
+
+    def _handle_locked(
+        self, request: Request, now: float, timings: dict[str, float]
+    ) -> Response:
         base_file = self._parse_base_file_url(request.url)
         if base_file is not None:
-            return self._serve_base_file(*base_file)
+            started = perf_counter()
+            response = self._serve_base_file(*base_file)
+            timings["base_file"] = perf_counter() - started
+            return response
 
+        started = perf_counter()
         try:
             origin_response = self._origin_fetch(request, now)
         except OriginUnavailable:
             # The resilience policy gave up (circuit open, retries or
             # deadline spent): degrade gracefully instead of failing.
+            timings["origin_fetch"] = perf_counter() - started
             return self._degraded_response(request)
+        timings["origin_fetch"] = perf_counter() - started
         self.stats.requests += 1
         if (
             origin_response.status != 200
@@ -194,6 +252,7 @@ class DeltaServer:
         document = origin_response.body
         self.stats.direct_bytes += len(document)
 
+        started = perf_counter()
         cls, created = self.grouper.classify(request.url, document)
         cls.policy.observe(document, request.user_id)
         if created or cls.raw_base is None:
@@ -212,8 +271,9 @@ class DeltaServer:
             self._maybe_rebase(cls, document, request.user_id, now)
         if self.storage.stats.enforced:
             self.storage.enforce(self.grouper.classes, protect=cls)
+        timings["classify"] = perf_counter() - started
 
-        return self._respond(cls, request, document)
+        return self._respond(cls, request, document, timings)
 
     def class_of(self, url: str) -> DocumentClass | None:
         """The class a URL has been grouped into, if any (diagnostics)."""
@@ -314,14 +374,20 @@ class DeltaServer:
         controller.reset()
 
     def _respond(
-        self, cls: DocumentClass, request: Request, document: bytes
+        self,
+        cls: DocumentClass,
+        request: Request,
+        document: bytes,
+        timings: dict[str, float] | None = None,
     ) -> Response:
         if not cls.can_serve_deltas:
             return self._full_response(cls, None, document)
         current_ref = base_ref(cls.class_id, cls.version)
         accepted = request.accepts_delta()
         if current_ref in accepted:
-            delta_response = self._delta_response(cls, cls.version, document)
+            delta_response = self._delta_response(
+                cls, cls.version, document, timings
+            )
             if delta_response is not None:
                 return delta_response
         elif cls.previous_version is not None and (
@@ -330,7 +396,9 @@ class DeltaServer:
             # The client still holds the pre-rebase base: serve a delta
             # against it and advertise the new base so the client upgrades
             # without ever taking a full response.
-            delta_response = self._delta_response(cls, cls.previous_version, document)
+            delta_response = self._delta_response(
+                cls, cls.previous_version, document, timings
+            )
             if delta_response is not None:
                 delta_response.headers.set(HEADER_DELTA_BASE, current_ref)
                 return delta_response
@@ -341,7 +409,11 @@ class DeltaServer:
         return self._full_response(cls, ref, document)
 
     def _delta_response(
-        self, cls: DocumentClass, version: int, document: bytes
+        self,
+        cls: DocumentClass,
+        version: int,
+        document: bytes,
+        timings: dict[str, float] | None = None,
     ) -> Response | None:
         index = cls.full_index_for(version)
         if index is None:
@@ -353,12 +425,17 @@ class DeltaServer:
             self._quarantine(cls, cause="integrity")
             return None
         ref = base_ref(cls.class_id, version)
+        started = perf_counter()
         try:
             result = self._encoder.encode_with_index(index, document)
             wire = encode_delta(
                 result.instructions, len(index.base), checksum(document)
             )
+            encoded_at = perf_counter()
             payload = compress(wire, self.config.compression_level)
+            if timings is not None:
+                timings["encode"] = encoded_at - started
+                timings["compress"] = perf_counter() - encoded_at
         except Exception:
             # An encoder/codec fault costs this class its delta service
             # (one full response now, fresh base on the next good fetch),

@@ -7,7 +7,9 @@ between delta traffic and base-file distribution traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.metrics.histogram import StreamingHistogram
 
 
 @dataclass(slots=True)
@@ -59,60 +61,66 @@ class BandwidthReport:
         return round(self.total_sent_bytes / 1024)
 
 
-@dataclass(slots=True)
 class LatencySample:
     """Accumulates a distribution of durations (seconds) for percentiles.
 
     The float twin of :class:`SizeSample`; the live serving layer
     (:mod:`repro.serve`) records per-request wall-clock latencies here and
     reports the p50/p90/p99 figures the capacity experiments compare.
+
+    Backed by a bounded :class:`StreamingHistogram` (log-spaced buckets +
+    reservoir), so memory is O(buckets) no matter how long the soak and
+    percentile reads never re-sort the full history.  Percentiles are
+    exact (nearest-rank) while the population fits the reservoir, and
+    bucket-resolution approximations beyond that.
     """
 
-    values: list[float] = field(default_factory=list)
+    __slots__ = ("histogram",)
+
+    def __init__(self) -> None:
+        self.histogram = StreamingHistogram(low=1e-5, high=1e3)
 
     def add(self, value: float) -> None:
-        self.values.append(value)
+        self.histogram.add(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self.histogram.count
 
     @property
     def mean(self) -> float:
-        return sum(self.values) / len(self.values) if self.values else 0.0
+        return self.histogram.mean
 
     def percentile(self, q: float) -> float:
-        if not self.values:
-            return 0.0
-        ordered = sorted(self.values)
-        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
-        return ordered[rank]
+        return self.histogram.percentile(q)
 
 
-@dataclass(slots=True)
 class SizeSample:
-    """Accumulates a distribution of sizes (delta sizes, doc sizes, ...)."""
+    """Accumulates a distribution of sizes (delta sizes, doc sizes, ...).
 
-    values: list[int] = field(default_factory=list)
+    Same bounded backing as :class:`LatencySample`; ``total`` stays exact
+    (tracked as a running sum, never reconstructed from buckets).
+    """
+
+    __slots__ = ("histogram",)
+
+    def __init__(self) -> None:
+        self.histogram = StreamingHistogram(low=1.0, high=float(1 << 30))
 
     def add(self, value: int) -> None:
-        self.values.append(value)
+        self.histogram.add(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self.histogram.count
 
     @property
     def total(self) -> int:
-        return sum(self.values)
+        return round(self.histogram.sum)
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self.histogram.mean
 
     def percentile(self, q: float) -> int:
-        if not self.values:
-            return 0
-        ordered = sorted(self.values)
-        rank = min(int(len(ordered) * q / 100), len(ordered) - 1)
-        return ordered[rank]
+        return round(self.histogram.percentile(q))

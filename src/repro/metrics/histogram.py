@@ -1,0 +1,224 @@
+"""Bounded streaming histogram: O(1) memory, exact small-n percentiles.
+
+The live serving layer records a sample per request; an unbounded
+``list.append`` + ``sorted()`` percentile (the seed implementation of
+:class:`~repro.metrics.collector.LatencySample`) both leaks memory over a
+soak and makes every ``/__health__`` render O(n log n).  This histogram
+replaces it with two fixed-size structures:
+
+* **log-spaced buckets** — a fixed geometric ladder of upper bounds
+  (``buckets_per_decade`` per power of ten between ``low`` and ``high``),
+  an underflow bucket below ``low`` and an overflow bucket above
+  ``high``.  ``add`` is a binary search; memory is O(buckets) forever.
+* **a bounded reservoir** — uniform reservoir sampling (Vitter's
+  Algorithm R, seeded so runs are reproducible) keeps up to
+  ``reservoir_size`` raw values.  While the population fits in the
+  reservoir every value is present, so percentiles are *exact* for small
+  n — which is what unit tests and short benchmarks observe.  Past that,
+  percentiles come from the bucket ladder (geometric-midpoint
+  interpolation, clamped to the observed min/max), accurate to the
+  bucket spacing.
+
+Percentiles use the nearest-rank definition ``ceil(n * q / 100)`` (1-based),
+the textbook form; the seed's ``int(n * q / 100)`` indexing was biased one
+rank high (``percentile(50)`` of ``[1, 2]`` returned ``2``).
+
+Exact totals (``count``, ``sum``, ``min``, ``max``) are tracked
+separately, so means and byte accounting never pass through the
+approximation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+
+__all__ = ["StreamingHistogram", "nearest_rank_index"]
+
+#: raw values kept for exact small-n percentiles
+DEFAULT_RESERVOIR_SIZE = 512
+
+#: geometric resolution of the bucket ladder (10^(1/5) ≈ 1.58x per bucket)
+DEFAULT_BUCKETS_PER_DECADE = 5
+
+
+def nearest_rank_index(count: int, q: float) -> int:
+    """0-based index of the nearest-rank ``q``-th percentile of ``count``
+    sorted values: ``ceil(count * q / 100) - 1``, clamped to ``[0, count-1]``.
+    """
+    if count <= 0:
+        return 0
+    rank = math.ceil(count * q / 100.0) - 1
+    return min(max(rank, 0), count - 1)
+
+
+def log_spaced_bounds(
+    low: float, high: float, buckets_per_decade: int
+) -> tuple[float, ...]:
+    """Geometric ladder of bucket upper bounds from ``low`` to >= ``high``."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    if buckets_per_decade < 1:
+        raise ValueError("buckets_per_decade must be >= 1")
+    growth = 10.0 ** (1.0 / buckets_per_decade)
+    bounds = [low]
+    while bounds[-1] < high:
+        bounds.append(bounds[-1] * growth)
+    return tuple(bounds)
+
+
+class StreamingHistogram:
+    """Fixed log-spaced buckets + bounded reservoir; O(buckets) memory."""
+
+    __slots__ = (
+        "_bounds",
+        "_buckets",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_reservoir",
+        "_reservoir_size",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        low: float = 1e-5,
+        high: float = 1e3,
+        *,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        seed: int = 0x5EED,
+    ) -> None:
+        self._bounds = log_spaced_bounds(low, high, buckets_per_decade)
+        # one count per bound, plus the +Inf overflow bucket
+        self._buckets = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir: list[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+
+    # -- recording -------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        # bisect_left over upper bounds: index of the first bound >= value.
+        # Values <= low land in bucket 0; values > high in the overflow.
+        self._buckets[bisect_left(self._bounds, value)] += 1
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    # -- scalar reads ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def stored_samples(self) -> int:
+        """Raw values currently held — never exceeds ``reservoir_size``."""
+        return len(self._reservoir)
+
+    @property
+    def reservoir_size(self) -> int:
+        return self._reservoir_size
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are exact (population fits the reservoir)."""
+        return self._count <= self._reservoir_size
+
+    # -- percentiles -----------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        if not self._count:
+            return 0.0
+        if self.exact:
+            ordered = sorted(self._reservoir)
+            return ordered[nearest_rank_index(len(ordered), q)]
+        return self._bucket_percentile(q)
+
+    def _bucket_percentile(self, q: float) -> float:
+        rank = nearest_rank_index(self._count, q)
+        cumulative = 0
+        for i, bucket in enumerate(self._buckets):
+            cumulative += bucket
+            if cumulative > rank:
+                return self._bucket_value(i)
+        return self._max  # unreachable: buckets sum to count
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value for a bucket, clamped to observed extremes."""
+        if index == 0:
+            value = self._bounds[0]
+        elif index >= len(self._bounds):
+            value = self._bounds[-1]
+        else:
+            # geometric midpoint of the bucket's bounds
+            value = math.sqrt(self._bounds[index - 1] * self._bounds[index])
+        return min(max(value, self._min), self._max)
+
+    # -- exposition ------------------------------------------------------------
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, ending +Inf."""
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket in zip(self._bounds, self._buckets):
+            cumulative += bucket
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, self._count))
+        return pairs
+
+    def snapshot(self) -> dict:
+        """Compact summary (health endpoints, periodic loggers)."""
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 9),
+            "mean": round(self.mean, 9),
+            "min": round(self.min, 9),
+            "max": round(self.max, 9),
+            "p50": round(self.percentile(50), 9),
+            "p90": round(self.percentile(90), 9),
+            "p99": round(self.percentile(99), 9),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingHistogram(count={self._count}, mean={self.mean:.6g}, "
+            f"buckets={len(self._buckets)}, reservoir={len(self._reservoir)})"
+        )

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.http.messages import Request, Response
+from repro.metrics.registry import MetricsRegistry
 from repro.resilience.breaker import CircuitBreaker
 
 OriginFetch = Callable[[Request, float], Response]
@@ -126,10 +127,15 @@ class ResilientOrigin:
         clock: Callable[[], float] | None = None,
         sleep: Callable[[float], None] | None = None,
         seed: int = 17,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ResilienceConfig()
         self.breaker = breaker or self.config.make_breaker(clock)
         self.stats = ResilienceStats()
+        #: observability sink: attempt/backoff timings and breaker
+        #: rejections as named histograms/counters (shared with the
+        #: serving layer when wired through ``build_server``).
+        self.metrics = metrics or MetricsRegistry()
         self._fetch = fetch
         self._clock = clock or time.monotonic
         self._sleep = sleep or time.sleep
@@ -171,12 +177,17 @@ class ResilientOrigin:
             if not self.breaker.allow():
                 with self._lock:
                     self.stats.fast_fails += 1
+                self.metrics.inc(
+                    "origin_breaker_rejections_total",
+                    help="origin calls denied instantly by the open breaker",
+                )
                 raise OriginUnavailable(
                     "circuit open",
                     breaker_state=self.breaker.state,
                     attempts=attempt,
                     last_status=last_status,
                 )
+            attempt_started = self._clock()
             try:
                 response = self._fetch(request, now)
             except OriginUnavailable:
@@ -184,17 +195,32 @@ class ResilientOrigin:
             except Exception as exc:
                 self.breaker.record_failure()
                 last_status, last_error = None, exc
+                outcome = "error"
             else:
                 if self._is_failure(response):
                     self.breaker.record_failure()
                     last_status, last_error = response.status, None
+                    outcome = "failure"
                 else:
                     self.breaker.record_success()
-                    return response
+                    outcome = "success"
+            self.metrics.observe(
+                "origin_attempt_seconds",
+                self._clock() - attempt_started,
+                {"outcome": outcome},
+                help="wall-clock of each origin fetch attempt",
+            )
+            if outcome == "success":
+                return response
             attempt += 1
             if attempt > config.retries:
                 with self._lock:
                     self.stats.exhausted += 1
+                self.metrics.inc(
+                    "origin_exhausted_total",
+                    labels={"reason": "retries"},
+                    help="origin requests that burned their whole budget",
+                )
                 raise OriginUnavailable(
                     "retries exhausted",
                     breaker_state=self.breaker.state,
@@ -205,6 +231,11 @@ class ResilientOrigin:
             if self._clock() + pause >= deadline:
                 with self._lock:
                     self.stats.deadline_exhausted += 1
+                self.metrics.inc(
+                    "origin_exhausted_total",
+                    labels={"reason": "deadline"},
+                    help="origin requests that burned their whole budget",
+                )
                 raise OriginUnavailable(
                     "deadline budget exhausted",
                     breaker_state=self.breaker.state,
@@ -214,6 +245,14 @@ class ResilientOrigin:
             with self._lock:
                 self.stats.retries += 1
                 self.stats.backoff_seconds += pause
+            self.metrics.inc(
+                "origin_retries_total", help="origin fetch retry attempts"
+            )
+            self.metrics.observe(
+                "origin_backoff_seconds",
+                pause,
+                help="backoff pauses between origin retry attempts",
+            )
             self._sleep(pause)
 
     def snapshot(self) -> dict:

@@ -49,6 +49,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.server import (
     HEALTH_PATH,
+    METRICS_PATH,
     MODES,
     PAPER_CONNECTION_LIMIT,
     DeltaHTTPServer,
@@ -68,6 +69,7 @@ __all__ = [
     "LoadGenConfig",
     "LoadGenerator",
     "LoadReport",
+    "METRICS_PATH",
     "MODES",
     "OriginGateway",
     "PAPER_CONNECTION_LIMIT",

@@ -38,6 +38,7 @@ at the server-stamped ``X-Served-At`` instant.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import random
 import time
 import zlib
@@ -52,6 +53,7 @@ from repro.delta.errors import DeltaError
 from repro.http.messages import (
     HEADER_ACCEPT_DELTA,
     HEADER_CONTENT_ENCODING,
+    HEADER_TRACE_ID,
     Request,
     Response,
     parse_base_ref,
@@ -136,6 +138,22 @@ class LoadReport:
     duration: float = 0.0
     peak_in_flight: int = 0
     latencies: LatencySample = field(default_factory=LatencySample)
+    #: slowest completed requests as ``(latency_s, trace_id, url)`` — the
+    #: trace id matches the server's X-Trace-Id, so a slow request can be
+    #: looked up against the server-side X-Stage-Times stage timings
+    slowest: list[tuple[float, str, str]] = field(default_factory=list)
+
+    #: how many slowest requests are retained
+    SLOWEST_KEPT = 5
+
+    def note_latency(self, latency: float, trace_id: str, url: str) -> None:
+        """Record a completed request, keeping the top-N slowest (heap)."""
+        self.latencies.add(latency)
+        entry = (latency, trace_id, url)
+        if len(self.slowest) < self.SLOWEST_KEPT:
+            heapq.heappush(self.slowest, entry)
+        else:
+            heapq.heappushpop(self.slowest, entry)
 
     @property
     def rps(self) -> float:
@@ -174,6 +192,11 @@ class LoadReport:
              f"{self.latencies.mean * 1000:.1f} / {self.latency_ms(50):.1f} / "
              f"{self.latency_ms(90):.1f} / {self.latency_ms(99):.1f} ms"],
             ["peak in-flight", self.peak_in_flight],
+            ["slowest (latency, trace id)",
+             ", ".join(
+                 f"{latency * 1000:.1f}ms {trace}"
+                 for latency, trace, _ in sorted(self.slowest, reverse=True)[:3]
+             ) or "none"],
         ]
         return render_table(
             ["metric", "value"],
@@ -430,7 +453,9 @@ class LoadGenerator:
                 report.errors += 1
                 return
         report.completed += 1
-        report.latencies.add(latency)
+        report.note_latency(
+            latency, response.headers.get(HEADER_TRACE_ID) or "-", url
+        )
         report.document_wire_bytes += parsed.wire_bytes
         report.document_bytes += len(document)
         # Adopt the advertised base-file (full responses advertise the

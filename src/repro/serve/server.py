@@ -25,6 +25,11 @@ each mirroring a Section VI-C property of the paper's Apache testbed:
   worker pool hung on retries.
 * **Health surface** — ``GET /__health__`` reports breaker state,
   quarantined classes, and degradation counters as JSON.
+* **Metrics surface** — ``GET /__metrics__`` renders every counter and
+  per-stage histogram (engine pipeline, origin resilience, serve layer)
+  in the Prometheus text exposition format; every response carries an
+  ``X-Trace-Id`` (client-supplied or minted here) so slow requests can
+  be correlated with their ``X-Stage-Times`` stage timings.
 * **Graceful drain** — ``close()`` stops accepting, lets in-flight
   connections finish for ``drain_timeout`` seconds, then cancels.
 
@@ -37,14 +42,22 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import json
 import logging
+import random
 import time
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import DeltaServerConfig
 from repro.core.delta_server import DeltaServer
-from repro.http.messages import HEADER_DEGRADED, Request, Response
+from repro.http.messages import (
+    HEADER_DEGRADED,
+    HEADER_TRACE_ID,
+    Request,
+    Response,
+)
+from repro.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.origin.server import OriginServer
 from repro.origin.site import SyntheticSite
 from repro.resilience.breaker import CLOSED
@@ -79,6 +92,9 @@ PAPER_CONNECTION_LIMIT = 255
 #: path (relative to any host) answering the liveness/degradation report
 HEALTH_PATH = "__health__"
 
+#: path (relative to any host) answering the Prometheus-text exposition
+METRICS_PATH = "__metrics__"
+
 
 class DeltaHTTPServer:
     """Asyncio HTTP/1.1 front-end for a :class:`DeltaServer` engine."""
@@ -99,6 +115,7 @@ class DeltaHTTPServer:
         executor: DeltaExecutor | None = None,
         resilience: ResilientOrigin | None = None,
         clock: Callable[[], float] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -112,7 +129,17 @@ class DeltaHTTPServer:
         self.mode = mode
         self.max_connections = max_connections
         self.stats = ServeStats()
+        # One observability sink for the whole stack: prefer the engine's
+        # registry (build_server shares it with the resilience policy) so
+        # /__metrics__ renders every layer's histograms in one pass.
+        self.metrics = metrics or (
+            engine.metrics if engine is not None else MetricsRegistry()
+        )
         self.clock = clock or time.monotonic
+        # Trace ids: a short random run prefix plus a sequence number, so
+        # ids are unique across restarts but cheap and log-sortable.
+        self._trace_prefix = f"{random.getrandbits(32):08x}"
+        self._trace_seq = itertools.count(1)
         self._host = host
         self._port = port
         self._request_timeout = request_timeout
@@ -236,11 +263,20 @@ class DeltaHTTPServer:
             if not keep_alive:
                 return
 
+    def _next_trace_id(self) -> str:
+        return f"{self._trace_prefix}-{next(self._trace_seq):06x}"
+
     async def _serve_one(
         self, writer: asyncio.StreamWriter, parsed: ParsedRequest
     ) -> bool:
         self.stats.requests += 1
         self.stats.bytes_in += parsed.wire_bytes
+        # Trace id: honour a client-supplied X-Trace-Id, mint one
+        # otherwise; the request carries it through gateway and engine,
+        # and the response echoes it so the client can correlate a slow
+        # answer with the server-side stage timings recorded under it.
+        trace_id = parsed.request.headers.get(HEADER_TRACE_ID) or self._next_trace_id()
+        parsed.request.headers.set(HEADER_TRACE_ID, trace_id)
         started = self.clock()
         try:
             response = await asyncio.wait_for(
@@ -265,6 +301,7 @@ class DeltaHTTPServer:
             self.stats.on_exception(exc)
             logger.exception("unhandled error serving %s", parsed.request.url)
             response = Response(status=500, body=b"internal error")
+        response.headers.set(HEADER_TRACE_ID, trace_id)
         keep_alive = parsed.keep_alive and not self._closing
         try:
             await self._write(
@@ -282,6 +319,8 @@ class DeltaHTTPServer:
         _, remainder = split_server(request.url)
         if remainder == HEALTH_PATH:
             response = self._health_response()
+        elif remainder == METRICS_PATH:
+            response = self._metrics_response(now)
         elif self.mode == "plain":
             fetch = (
                 self.resilience.fetch_sync
@@ -345,6 +384,68 @@ class DeltaHTTPServer:
         response.headers.set("Content-Type", "application/json")
         return response
 
+    def _metrics_response(self, now: float) -> Response:
+        """``/__metrics__``: the whole stack in Prometheus text format.
+
+        One render pass over (a) the shared registry — engine stage
+        histograms, resilience attempt/backoff timings — and (b) the
+        scalar counters of the serve stats, engine, gateway, and breaker,
+        materialized as exposition lines at read time so there is no
+        double bookkeeping on the hot path.
+        """
+        extra = self.stats.prometheus_lines(now)
+        if self.engine is not None:
+            stats = self.engine.stats
+            engine_counters = [
+                ("requests", stats.requests),
+                ("direct_bytes", stats.direct_bytes),
+                ("sent_bytes", stats.sent_bytes),
+                ("deltas_served", stats.deltas_served),
+                ("full_served", stats.full_served),
+                ("passthrough", stats.passthrough),
+                ("base_files_served", stats.base_files_served),
+                ("base_file_bytes", stats.base_file_bytes),
+                ("group_rebases", stats.group_rebases),
+                ("basic_rebases", stats.basic_rebases),
+                ("stale_served", stats.stale_served),
+                ("origin_unavailable", stats.origin_unavailable),
+                ("quarantines", stats.quarantines),
+                ("integrity_failures", stats.integrity_failures),
+                ("encode_failures", stats.encode_failures),
+                ("quarantine_recoveries", stats.quarantine_recoveries),
+            ]
+            for name, value in engine_counters:
+                full = f"repro_engine_{name}_total"
+                extra.append(f"# TYPE {full} counter")
+                extra.append(f"{full} {value}")
+            extra.append("# TYPE repro_engine_classes gauge")
+            extra.append(f"repro_engine_classes {len(self.engine.grouper.classes)}")
+        gw = self.gateway.stats
+        gateway_counters = [
+            ("fetches", gw.fetches),
+            ("faults_injected", gw.faults_injected),
+            ("hook_failures", gw.hook_failures),
+            ("resets_injected", gw.resets_injected),
+            ("corruptions_injected", gw.corruptions_injected),
+        ]
+        for name, value in gateway_counters:
+            full = f"repro_origin_gateway_{name}_total"
+            extra.append(f"# TYPE {full} counter")
+            extra.append(f"{full} {value}")
+        if self.resilience is not None:
+            breaker = self.resilience.breaker.snapshot()
+            extra.append("# TYPE repro_breaker_state gauge")
+            for state in ("closed", "open", "half_open"):
+                flag = 1 if breaker["state"] == state else 0
+                extra.append(f'repro_breaker_state{{state="{state}"}} {flag}')
+            extra.append("# TYPE repro_breaker_opened_total counter")
+            extra.append(f"repro_breaker_opened_total {breaker['opened']}")
+            extra.append("# TYPE repro_breaker_reclosed_total counter")
+            extra.append(f"repro_breaker_reclosed_total {breaker['reclosed']}")
+        response = Response(status=200, body=self.metrics.render(extra).encode())
+        response.headers.set("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        return response
+
     async def _write(
         self,
         writer: asyncio.StreamWriter,
@@ -354,9 +455,16 @@ class DeltaHTTPServer:
         latency: float | None = None,
     ) -> None:
         chunked = len(response.body) >= self._chunk_threshold
+        started = time.perf_counter()
         wire = serialize_response(response, keep_alive=keep_alive, chunked=chunked)
         writer.write(wire)
         await writer.drain()
+        self.metrics.observe(
+            "server_stage_seconds",
+            time.perf_counter() - started,
+            {"stage": "write"},
+            help="serve-layer stage durations (serialize + drain)",
+        )
         self.stats.on_response(response, len(wire), latency)
 
 
@@ -394,9 +502,13 @@ def build_server(
         fault_hook=fault_hook,
         fault_plan=fault_plan,
     )
+    # One registry across the stack: engine stage timings, resilience
+    # attempt/backoff histograms, and serve-layer write timings all land
+    # in the same /__metrics__ exposition.
+    registry = MetricsRegistry()
     resilience_config = resilience or ResilienceConfig()
     resilient = (
-        ResilientOrigin(gateway.fetch_sync, resilience_config)
+        ResilientOrigin(gateway.fetch_sync, resilience_config, metrics=registry)
         if resilience_config.enabled
         else None
     )
@@ -406,7 +518,7 @@ def build_server(
         rulebook = RuleBook()
         for site in site_list:
             rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
-        engine = DeltaServer(origin_fetch, config, rulebook)
+        engine = DeltaServer(origin_fetch, config, rulebook, metrics=registry)
     executor = DeltaExecutor(executor_kind, max_workers=executor_workers)
     return DeltaHTTPServer(
         gateway,
@@ -414,5 +526,6 @@ def build_server(
         mode=mode,
         executor=executor,
         resilience=resilient,
+        metrics=registry,
         **server_kwargs,  # type: ignore[arg-type]
     )

@@ -16,7 +16,13 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.http.messages import Response
-from repro.metrics import LatencySample, SizeSample, render_table
+from repro.metrics import (
+    LatencySample,
+    SizeSample,
+    format_sample,
+    histogram_lines,
+    render_table,
+)
 
 
 @dataclass(slots=True)
@@ -58,12 +64,20 @@ class ServeStats:
         self.peak_connections = max(self.peak_connections, self.active_connections)
 
     def on_connection_rejected(self, wire_bytes: int = 0) -> None:
-        """A connection turned away with 503; the rejection response is
-        real wire traffic, so it lands in the byte/status accounting."""
+        """A connection turned away with 503.
+
+        The rejection is a real response on the wire, so it must land in
+        *all* of the response accounting — ``responses``,
+        ``status_counts``, and (when known) ``bytes_out`` — or
+        ``throughput_rps`` and the status table disagree under
+        admission-control load.  Invariant:
+        ``sum(status_counts.values()) == responses``.
+        """
         self.connections_rejected += 1
+        self.responses += 1
+        self.status_counts[503] += 1
         if wire_bytes:
             self.bytes_out += wire_bytes
-            self.status_counts[503] += 1
 
     def on_connection_close(self) -> None:
         self.active_connections -= 1
@@ -136,3 +150,101 @@ class ServeStats:
         if now is not None:
             rows.append(["throughput", f"{self.throughput_rps(now):.1f} req/s"])
         return render_table(["metric", "value"], rows, title=title)
+
+    def snapshot_line(self, now: float | None = None) -> str:
+        """One-line periodic snapshot (``--metrics-interval`` logger)."""
+        uptime = (
+            now - self.started_at
+            if now is not None and self.started_at is not None
+            else 0.0
+        )
+        return (
+            f"[metrics] uptime={uptime:.1f}s"
+            f" requests={self.requests} responses={self.responses}"
+            f" rps={self.throughput_rps(now) if now is not None else 0.0:.1f}"
+            f" active={self.active_connections} rejected={self.connections_rejected}"
+            f" deltas={self.deltas_served} fulls={self.full_documents}"
+            f" bases={self.base_files_served}"
+            f" errors={self.errors} timeouts={self.timeouts}"
+            f" degraded={self.degraded_stale + self.degraded_unavailable}"
+            f" p50={self.latencies.percentile(50) * 1000:.1f}ms"
+            f" p99={self.latencies.percentile(99) * 1000:.1f}ms"
+            f" bytes_out={self.bytes_out}"
+        )
+
+    def prometheus_lines(self, now: float | None = None) -> list[str]:
+        """Exposition lines for every counter and histogram held here.
+
+        The serve-layer half of ``GET /__metrics__``; the engine and
+        resilience registries render their own families.
+        """
+        counters: list[tuple[str, str, int]] = [
+            ("repro_connections_accepted_total", "connections accepted",
+             self.connections_accepted),
+            ("repro_connections_rejected_total", "connections turned away with 503",
+             self.connections_rejected),
+            ("repro_requests_total", "HTTP requests parsed", self.requests),
+            ("repro_responses_total", "HTTP responses written", self.responses),
+            ("repro_deltas_served_total", "delta responses", self.deltas_served),
+            ("repro_full_documents_total", "full document responses",
+             self.full_documents),
+            ("repro_base_files_served_total", "base-file responses",
+             self.base_files_served),
+            ("repro_errors_total", "responses with status >= 500", self.errors),
+            ("repro_timeouts_total", "requests answered 504", self.timeouts),
+            ("repro_protocol_errors_total", "malformed inbound framing",
+             self.protocol_errors),
+            ("repro_bytes_in_total", "request wire bytes read", self.bytes_in),
+            ("repro_bytes_out_total", "response wire bytes written", self.bytes_out),
+            ("repro_degraded_stale_total", "marked-stale base-file answers",
+             self.degraded_stale),
+            ("repro_degraded_unavailable_total", "origin-unavailable 502 answers",
+             self.degraded_unavailable),
+            ("repro_health_checks_total", "GET /__health__ probes",
+             self.health_checks),
+        ]
+        lines: list[str] = []
+        for name, help_text, value in counters:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(format_sample(name, (), value))
+        lines.append("# TYPE repro_responses_by_status_total counter")
+        for status in sorted(self.status_counts):
+            lines.append(
+                format_sample(
+                    "repro_responses_by_status_total",
+                    (("status", str(status)),),
+                    self.status_counts[status],
+                )
+            )
+        lines.append("# TYPE repro_exceptions_total counter")
+        for name in sorted(self.exception_counts):
+            lines.append(
+                format_sample(
+                    "repro_exceptions_total",
+                    (("type", name),),
+                    self.exception_counts[name],
+                )
+            )
+        lines.append("# TYPE repro_active_connections gauge")
+        lines.append(
+            format_sample("repro_active_connections", (), self.active_connections)
+        )
+        lines.append("# TYPE repro_peak_connections gauge")
+        lines.append(
+            format_sample("repro_peak_connections", (), self.peak_connections)
+        )
+        if now is not None and self.started_at is not None:
+            lines.append("# TYPE repro_uptime_seconds gauge")
+            lines.append(
+                format_sample("repro_uptime_seconds", (), now - self.started_at)
+            )
+        lines.append("# TYPE repro_request_latency_seconds histogram")
+        lines.extend(
+            histogram_lines("repro_request_latency_seconds", self.latencies.histogram)
+        )
+        lines.append("# TYPE repro_response_body_bytes histogram")
+        lines.extend(
+            histogram_lines("repro_response_body_bytes", self.response_sizes.histogram)
+        )
+        return lines

@@ -8,11 +8,16 @@ from repro.core.config import (
     DeltaServerConfig,
     GroupingConfig,
 )
-from repro.core.delta_server import DeltaServer
+from repro.core.delta_server import (
+    DeltaServer,
+    format_stage_times,
+    parse_stage_times,
+)
 from repro.delta.apply import apply_delta
 from repro.delta.compress import decompress
 from repro.http.messages import (
     HEADER_ACCEPT_DELTA,
+    HEADER_STAGE_TIMES,
     Request,
     Response,
     base_ref,
@@ -73,6 +78,19 @@ class TestBasicFlow:
         body = apply_delta(decompress(response.body), base)
         direct = origin.handle(req(url, "u9"), now=10.0).body
         assert body == direct
+
+    def test_delta_served_with_comma_space_accept_header(self, stack):
+        """Regression: a comma-space Accept-Delta list (``"x/9, <ref>"``)
+        left whitespace on the second token, so the engine never matched
+        the held base and fell back to a full document."""
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        response = server.handle(
+            req(url, "u9", accept=f"bogus/9, {ref}"), now=10.0
+        )
+        assert response.is_delta
+        assert response.delta_base_ref == ref
 
     def test_delta_much_smaller_than_document(self, stack):
         site, _, server = stack
@@ -238,3 +256,39 @@ class TestRebaseTransition:
         assert response.base_file_ref == new_ref
         body = apply_delta(decompress(response.body), cls.base_for_version(1))
         assert body == origin.handle(req(url, "u9"), now=60.0).body
+
+
+class TestStageTiming:
+    def test_stage_times_header_on_every_response(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        response = server.handle(req(url, "u1"), now=0.0)
+        header = response.headers.get(HEADER_STAGE_TIMES)
+        assert header is not None
+        timings = parse_stage_times(header)
+        assert "lock_wait" in timings
+        assert "origin_fetch" in timings
+        assert all(seconds >= 0.0 for seconds in timings.values())
+
+    def test_delta_path_records_encode_and_compress(self, stack):
+        site, _, server = stack
+        url = site.url_for(site.all_pages()[0])
+        ref = warm_up(site, server, url)
+        response = server.handle(req(url, "u9", accept=ref), now=10.0)
+        assert response.is_delta
+        timings = parse_stage_times(response.headers.get(HEADER_STAGE_TIMES))
+        assert "encode" in timings
+        assert "compress" in timings
+        # The same stages land in the shared metrics registry.
+        for stage in ("encode", "compress", "origin_fetch"):
+            hist = server.metrics.histogram(
+                "engine_stage_seconds", {"stage": stage}
+            )
+            assert hist is not None and hist.count >= 1
+
+    def test_format_parse_round_trip(self):
+        timings = {"origin_fetch": 0.001234, "encode": 0.000056}
+        parsed = parse_stage_times(format_stage_times(timings))
+        assert parsed == {"origin_fetch": 0.001234, "encode": 0.000056}
+        assert parse_stage_times("") == {}
+        assert parse_stage_times("garbage;no=equals=x;ok=0.5") == {"ok": 0.5}

@@ -62,6 +62,19 @@ class TestRequest:
     def test_accepts_delta_empty(self):
         assert Request(url="www.foo.com/x").accepts_delta() == []
 
+    def test_accepts_delta_strips_whitespace(self):
+        """Regression: ``"a/1, b/2"`` (the standard comma-space form every
+        HTTP client emits) used to yield ``" b/2"``, which never matched a
+        base ref, silently disabling deltas for the second token."""
+        request = Request(url="www.foo.com/x")
+        request.headers.set(HEADER_ACCEPT_DELTA, "cls1/2, cls9/1 ,  cls3/7")
+        assert request.accepts_delta() == ["cls1/2", "cls9/1", "cls3/7"]
+
+    def test_accepts_delta_drops_empty_tokens(self):
+        request = Request(url="www.foo.com/x")
+        request.headers.set(HEADER_ACCEPT_DELTA, "cls1/2,, ,cls9/1,")
+        assert request.accepts_delta() == ["cls1/2", "cls9/1"]
+
 
 class TestResponse:
     def test_delta_detection(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import BandwidthReport, SizeSample
+from repro.metrics.collector import BandwidthReport, LatencySample, SizeSample
 from repro.metrics.report import fmt_factor, fmt_kb, fmt_pct, render_table
 
 
@@ -49,7 +49,8 @@ class TestSizeSample:
         sample = SizeSample()
         for v in range(100):
             sample.add(v)
-        assert sample.percentile(50) == 50
+        # Nearest-rank: the 50th of 100 sorted values is index 49.
+        assert sample.percentile(50) == 49
         assert sample.percentile(0) == 0
         assert sample.percentile(100) == 99
 
@@ -57,6 +58,52 @@ class TestSizeSample:
         sample = SizeSample()
         assert sample.mean == 0.0
         assert sample.percentile(50) == 0
+
+
+class TestNearestRankRegression:
+    """The seed's ``int(n * q / 100)`` indexing was one rank high:
+    ``percentile(50)`` of ``[1, 2]`` returned 2.  Nearest-rank is
+    ``ceil(n * q / 100) - 1`` clamped to ``[0, n-1]``."""
+
+    @pytest.mark.parametrize("sample_cls", [LatencySample, SizeSample])
+    def test_n2_median_is_lower_value(self, sample_cls):
+        sample = sample_cls()
+        sample.add(1)
+        sample.add(2)
+        assert sample.percentile(50) == 1
+
+    @pytest.mark.parametrize("sample_cls", [LatencySample, SizeSample])
+    def test_n1_every_percentile_is_the_value(self, sample_cls):
+        sample = sample_cls()
+        sample.add(7)
+        for q in (0, 1, 50, 99, 100):
+            assert sample.percentile(q) == 7
+
+    @pytest.mark.parametrize("sample_cls", [LatencySample, SizeSample])
+    def test_q100_is_max_and_in_range(self, sample_cls):
+        sample = sample_cls()
+        for v in (5, 1, 9, 3):
+            sample.add(v)
+        assert sample.percentile(100) == 9
+        # q=100 must never index past the end (the old off-by-one relied
+        # on a clamp that silently hid the bias everywhere else).
+        assert sample.percentile(99.999) == 9
+
+    def test_latency_p50_of_two_floats(self):
+        sample = LatencySample()
+        sample.add(0.010)
+        sample.add(0.020)
+        assert sample.percentile(50) == pytest.approx(0.010)
+        assert sample.percentile(99) == pytest.approx(0.020)
+
+    def test_memory_is_bounded(self):
+        sample = LatencySample()
+        for i in range(10_000):
+            sample.add(i * 1e-4)
+        histogram = sample.histogram
+        assert histogram.count == 10_000
+        assert histogram.stored_samples <= histogram.reservoir_size
+        assert sample.mean == pytest.approx(sum(i * 1e-4 for i in range(10_000)) / 10_000)
 
 
 class TestReport:

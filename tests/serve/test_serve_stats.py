@@ -75,13 +75,31 @@ def test_rejection_bytes_and_status_accounted():
     stats = ServeStats()
     stats.on_connection_rejected(wire_bytes=120)
     assert stats.connections_rejected == 1
+    assert stats.responses == 1
     assert stats.bytes_out == 120
     assert stats.status_counts[503] == 1
-    # The legacy no-argument form still only counts the rejection.
+    # The no-argument form (wire size unknown) still counts the 503 as a
+    # response; only bytes_out is left untouched.
     stats.on_connection_rejected()
     assert stats.connections_rejected == 2
+    assert stats.responses == 2
     assert stats.bytes_out == 120
-    assert stats.status_counts[503] == 1
+    assert stats.status_counts[503] == 2
+
+
+def test_status_counts_sum_matches_responses():
+    """Invariant: every response on the wire lands in status_counts.
+
+    The seed counted rejected-connection 503s in ``status_counts`` but
+    not in ``responses``, so the two disagreed under admission-control
+    load."""
+    stats = ServeStats()
+    stats.on_response(delta_response(), wire_bytes=100, latency_seconds=0.002)
+    stats.on_response(Response(status=404, body=b"no"), 60, 0.001)
+    stats.on_connection_rejected(wire_bytes=120)
+    stats.on_connection_rejected()
+    stats.on_response(Response(status=500, body=b"boom"), 60, None)
+    assert sum(stats.status_counts.values()) == stats.responses == 5
 
 
 def test_exception_classification():
@@ -127,3 +145,79 @@ def test_render_includes_resilience_rows():
     text = stats.render()
     assert "degraded stale / unavailable" in text
     assert "RuntimeError:1" in text
+
+
+def test_render_with_zero_traffic():
+    """render/__health__ must not divide by zero or index empty samples."""
+    stats = ServeStats()
+    text = stats.render()
+    assert "requests / responses" in text
+    assert "0 / 0" in text
+    # With a clock but no started_at, throughput stays defined.
+    assert stats.throughput_rps(123.0) == 0.0
+    text_with_now = stats.render(now=123.0)
+    assert "0.0 req/s" in text_with_now
+
+
+def test_snapshot_line_zero_and_live():
+    stats = ServeStats()
+    line = stats.snapshot_line()
+    assert line.startswith("[metrics] uptime=0.0s")
+    assert "rps=0.0" in line
+    stats.started_at = 10.0
+    for _ in range(4):
+        stats.on_response(full_response(), wire_bytes=100, latency_seconds=0.01)
+    line = stats.snapshot_line(now=12.0)
+    assert "uptime=2.0s" in line
+    assert "responses=4" in line
+    assert "rps=2.0" in line
+    assert "p50=10.0ms" in line
+
+
+def test_prometheus_lines_zero_traffic():
+    stats = ServeStats()
+    lines = stats.prometheus_lines()
+    text = "\n".join(lines)
+    assert "repro_requests_total 0" in text
+    assert "repro_responses_total 0" in text
+    # Empty histograms still expose a complete bucket/sum/count family.
+    assert 'repro_request_latency_seconds_bucket{le="+Inf"} 0' in text
+    assert "repro_request_latency_seconds_count 0" in text
+    # No uptime gauge without a clock.
+    assert "repro_uptime_seconds" not in text
+
+
+def test_prometheus_lines_reflect_counters():
+    stats = ServeStats()
+    stats.started_at = 100.0
+    stats.on_response(delta_response(), wire_bytes=100, latency_seconds=0.002)
+    stats.on_response(Response(status=404, body=b"no"), 60, 0.001)
+    stats.on_connection_rejected(wire_bytes=120)
+    lines = stats.prometheus_lines(now=110.0)
+    text = "\n".join(lines)
+    assert "repro_deltas_served_total 1" in text
+    assert 'repro_responses_by_status_total{status="404"} 1' in text
+    assert 'repro_responses_by_status_total{status="503"} 1' in text
+    assert "repro_uptime_seconds 10" in text
+    assert "repro_request_latency_seconds_count 2" in text
+    assert "repro_response_body_bytes_count 2" in text
+
+
+def test_sample_storage_stays_bounded_after_soak():
+    """Satellite: 10k responses must not grow sample storage past the
+    reservoir cap (the seed kept every observation in a list)."""
+    stats = ServeStats()
+    for i in range(10_000):
+        stats.on_response(
+            full_response(), wire_bytes=100 + i % 7, latency_seconds=(i % 50) * 1e-4
+        )
+    assert stats.latencies.count == 10_000
+    assert stats.response_sizes.count == 10_000
+    lat_hist = stats.latencies.histogram
+    size_hist = stats.response_sizes.histogram
+    assert lat_hist.stored_samples <= lat_hist.reservoir_size
+    assert size_hist.stored_samples <= size_hist.reservoir_size
+    # Percentiles still answer from the bounded structure.
+    assert 0.0 <= stats.latencies.percentile(99) <= 50 * 1e-4 * 2
+    # response_sizes samples body length (every body is b"full-document")
+    assert stats.response_sizes.percentile(50) == len(b"full-document")
