@@ -171,7 +171,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     site = _build_site(args)
     config = DeltaServerConfig(
-        anonymization=AnonymizationConfig(documents=args.anon_n, min_count=args.anon_m)
+        anonymization=AnonymizationConfig(documents=args.anon_n, min_count=args.anon_m),
+        engine_mode=args.engine_mode,
     )
     fault_plan = (
         FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
@@ -196,6 +197,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             resilience=resilience,
             executor_kind=args.executor,
+            executor_workers=args.executor_workers,
             host=args.host,
             port=args.port,
             max_connections=args.max_connections,
@@ -349,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=30.0)
     serve.add_argument("--executor", default="thread", choices=["thread", "sync"],
                        help="where delta generation runs")
+    serve.add_argument("--executor-workers", type=int, default=None,
+                       help="thread-pool size (default: min(64, 4 x cores))")
+    serve.add_argument("--engine-mode", default="sharded",
+                       choices=["sharded", "serialized"],
+                       help="engine concurrency model: per-class sharding "
+                            "(default) or one global lock (benchmark baseline)")
     serve.add_argument("--origin-latency", type=float, default=0.0,
                        help="injected origin fetch latency, seconds")
     serve.add_argument("--origin-jitter", type=float, default=0.0,

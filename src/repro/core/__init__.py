@@ -22,12 +22,14 @@ from repro.core.base_file import (
 )
 from repro.core.classes import ClassStats, DocumentClass
 from repro.core.config import (
+    ENGINE_MODES,
     AnonymizationConfig,
     BaseFileConfig,
     DeltaServerConfig,
     EvictionVariant,
     GroupingConfig,
 )
+from repro.core.counters import StripedCounters
 from repro.core.delta_server import BASE_FILE_SEGMENT, DeltaServer, ServerStats
 from repro.core.grouping import Grouper, GroupingStats
 from repro.core.rebase import RebaseController, RebaseDecision
@@ -44,6 +46,7 @@ __all__ = [
     "DeltaServer",
     "DeltaServerConfig",
     "DocumentClass",
+    "ENGINE_MODES",
     "EvictionVariant",
     "FirstResponsePolicy",
     "Grouper",
@@ -56,6 +59,7 @@ __all__ = [
     "ServerStats",
     "StorageManager",
     "StorageStats",
+    "StripedCounters",
     "class_storage_bytes",
     "make_policy",
     "offline_best",

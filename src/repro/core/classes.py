@@ -21,6 +21,7 @@ base-file can be used until the new one is properly anonymized".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.anonymize import AnonymizationState, Anonymizer
@@ -65,6 +66,14 @@ class DocumentClass:
         self.members: set[str] = set()
         self.last_rebase_at = created_at
 
+        # The sharded engine's unit of mutual exclusion: every mutation of
+        # class state (membership, base lifecycle, policy samples, index
+        # caches) happens under this lock, taken by the engine/grouper —
+        # the methods below do not take it themselves, so lock-holding
+        # callers can compose them freely.  Reentrant because composite
+        # operations (ingest → rebase → adopt) nest helper calls.
+        self.lock = threading.RLock()
+
         self._anon_config = anonymization
         self._encoder = encoder
         self._estimator = estimator
@@ -91,6 +100,7 @@ class DocumentClass:
 
         self._full_index: BaseIndex | None = None
         self._light_index: BaseIndex | None = None
+        self._raw_full_index: BaseIndex | None = None
 
     # -- membership ----------------------------------------------------------
 
@@ -241,6 +251,7 @@ class DocumentClass:
         self._pending = None
         self._full_index = None
         self._light_index = None
+        self._raw_full_index = None
         self._checksum = None
         return freed
 
@@ -262,6 +273,26 @@ class DocumentClass:
                 self._previous_index = self._encoder.index(self._previous)
             return self._previous_index
         return None
+
+    def exact_match_index(self) -> BaseIndex | None:
+        """Cached *full*-differ index over the best base for exact matching.
+
+        The grouper's ``exact_delta`` probe path compares a document
+        against this class's base with the full differ; rebuilding a
+        fresh index per probe made joining a class O(probes × base size).
+        The distributable base reuses :meth:`full_index` (the same index
+        delta generation uses); during the anonymization window the raw
+        base gets its own cached index, invalidated by identity when the
+        base changes.
+        """
+        if self.can_serve_deltas:
+            return self.full_index()
+        base = self._raw_base
+        if not base:
+            return None
+        if self._raw_full_index is None or self._raw_full_index.base is not base:
+            self._raw_full_index = self._encoder.index(base)
+        return self._raw_full_index
 
     def light_index(self) -> BaseIndex | None:
         """Cached light-estimator index over the best base for matching.

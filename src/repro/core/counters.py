@@ -1,0 +1,77 @@
+"""Striped counters: exact accounting without a shared hot lock.
+
+The sharded delta-engine increments a dozen counters on every request
+from many worker threads at once.  A plain ``stats.requests += 1`` is a
+read-modify-write race in CPython (the GIL serializes bytecodes, not the
+load/add/store triplet), and funnelling every increment through one
+mutex would re-create the very convoy the sharding removed.
+
+:class:`StripedCounters` gives each thread its own private cell (a plain
+dict only that thread ever writes), registered once in a stripe list.
+Increments are therefore uncontended single-thread dict updates; reads
+sum across stripes.  Totals are *exact* — no increment is ever lost —
+and reads taken while writers are running are weakly consistent
+monotone snapshots, which is all accounting and metrics need.  Stripes
+of finished threads are kept (their counts must survive the thread), so
+memory is bounded by the peak number of distinct worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+__all__ = ["StripedCounters"]
+
+
+class StripedCounters:
+    """Exact-under-contention named integer counters."""
+
+    __slots__ = ("_fields", "_lock", "_local", "_stripes")
+
+    def __init__(self, fields: Iterable[str]) -> None:
+        self._fields = tuple(fields)
+        if not self._fields:
+            raise ValueError("StripedCounters needs at least one field")
+        # Guards only the stripe registry (one append per new thread) and
+        # cross-stripe reads — never the increment hot path.
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._stripes: list[dict[str, int]] = []
+
+    def _cell(self) -> dict[str, int]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = dict.fromkeys(self._fields, 0)
+            with self._lock:
+                self._stripes.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        """Add ``amount`` to ``field`` (uncontended: touches only the
+        calling thread's stripe)."""
+        self._cell()[field] += amount
+
+    def get(self, field: str) -> int:
+        """Current total for ``field`` across all stripes."""
+        if field not in self._fields:
+            raise KeyError(field)
+        with self._lock:
+            stripes = list(self._stripes)
+        return sum(stripe[field] for stripe in stripes)
+
+    def snapshot(self) -> dict[str, int]:
+        """One weakly-consistent pass over every field.
+
+        Exact once writer threads have quiesced (joined); monotone and
+        never under the true value seen by any single completed request
+        while they run.
+        """
+        with self._lock:
+            stripes = list(self._stripes)
+        totals = dict.fromkeys(self._fields, 0)
+        for stripe in stripes:
+            for field in self._fields:
+                totals[field] += stripe[field]
+        return totals

@@ -25,6 +25,37 @@ ordinary proxy-caches absorb base-file distribution (Section VI-B's point
 that "anonymized base files are cachable ... the gain from cachable
 base-files is expected to be larger than the loss from slightly larger
 deltas").
+
+Concurrency — the sharded engine
+--------------------------------
+
+The paper models a single-CPU delta-server; this engine is sharded for
+per-class concurrency instead (``engine_mode="serialized"`` restores the
+single-global-lock pipeline as a benchmark baseline):
+
+* **The origin fetch runs under no engine lock.**  A slow (or retrying,
+  backing-off) origin stalls only its own request, never other classes.
+* **Classification serializes per ``(server, hint)`` shard** inside the
+  grouper — light-estimate probes for different sites run in parallel;
+  racing first-requests for one URL cannot fork a class.
+* **Class state is guarded by per-class locks**: membership, base-file
+  lifecycle, policy samples, and rebase decisions for one class never
+  block requests of another class.
+* **Delta generation is lock-free via snapshot-encode-commit**: the
+  ``(version, BaseIndex)`` pair is snapshotted under the class lock, the
+  Vdelta encode and deflate compress run outside every lock (both are
+  byte-level work), and the commit step revalidates the version.  If a
+  rebase or a storage release won the race, the commit is abandoned — one
+  retry against the new base, then a full response.  A delta against a
+  retired base version is never served.
+* **Counters are striped per thread** (:mod:`repro.core.counters`), so
+  accounting stays exact under contention without a shared hot lock;
+  ``stats`` materializes a :class:`ServerStats` snapshot on read.
+
+Lock ordering (to stay deadlock-free): shard lock → class lock →
+health lock; storage-manager lock → class lock.  No path acquires two
+class locks at once, and nothing takes a shard or storage lock while
+holding a class lock.
 """
 
 from __future__ import annotations
@@ -32,20 +63,22 @@ from __future__ import annotations
 import itertools
 import random
 import threading
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
 from time import perf_counter
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.classes import DocumentClass
 from repro.core.config import DeltaServerConfig
 from repro.core.base_file import RandomizedPolicy
+from repro.core.counters import StripedCounters
 from repro.core.grouping import Grouper
 from repro.core.rebase import RebaseController
 from repro.core.storage import StorageManager
 from repro.delta.codec import checksum, encode_delta, encoded_size
 from repro.delta.compress import compress
 from repro.delta.light import LightEstimator
-from repro.delta.vdelta import VdeltaEncoder
+from repro.delta.vdelta import BaseIndex, VdeltaEncoder
 from repro.http.messages import (
     HEADER_CONTENT_ENCODING,
     HEADER_DEGRADED,
@@ -88,7 +121,13 @@ def parse_stage_times(value: str | None) -> dict[str, float]:
 
 @dataclass(slots=True)
 class ServerStats:
-    """Aggregate delta-server accounting (drives Table II)."""
+    """Aggregate delta-server accounting (drives Table II).
+
+    This is the *snapshot* type: the engine keeps striped per-thread
+    counters internally and materializes one of these on every
+    ``server.stats`` read, so totals are exact once worker threads have
+    quiesced and never lose increments while they run.
+    """
 
     requests: int = 0
     #: bytes the origin produced — what a direct (no delta-server) deployment
@@ -111,6 +150,11 @@ class ServerStats:
     integrity_failures: int = 0
     encode_failures: int = 0
     quarantine_recoveries: int = 0
+    #: snapshot-encode-commit: encodes abandoned because a rebase or
+    #: storage release retired the snapshotted base version mid-encode …
+    commit_conflicts: int = 0
+    #: … and requests that ended in a full response because of it.
+    commit_fallbacks: int = 0
 
     @property
     def savings(self) -> float:
@@ -118,6 +162,21 @@ class ServerStats:
         if not self.direct_bytes:
             return 0.0
         return 1.0 - self.sent_bytes / self.direct_bytes
+
+
+#: counter names backing a ServerStats snapshot
+STAT_FIELDS = tuple(f.name for f in dataclass_fields(ServerStats))
+
+
+@dataclass(slots=True)
+class _DeltaPlan:
+    """Snapshot taken under the class lock for one off-lock encode."""
+
+    version: int
+    index: BaseIndex
+    #: True when the snapshot was the class's current version (False: the
+    #: client holds the still-servable previous generation).
+    served_current: bool
 
 
 class DeltaServer:
@@ -137,17 +196,15 @@ class DeltaServer:
         #: ``engine_stage_seconds{stage=...}`` histograms (shared with the
         #: serving layer when wired through ``build_server``).
         self.metrics = metrics or MetricsRegistry()
-        # One engine instance may be driven from many threads (the live
-        # asyncio server offloads `handle` to a worker pool).  The class
-        # map, base-file stores, and counters are mutated per request, so
-        # requests serialize on this lock — the single-writer discipline
-        # the paper's single-CPU delta-server implies.  Concurrency above
-        # the engine (connection handling, I/O) stays parallel; see
-        # repro.serve for the layering.
-        self._lock = threading.Lock()
+        # ``serialized`` restores the seed engine's single-writer
+        # discipline: one global lock held across the whole pipeline,
+        # origin fetch included.  The sharded mode (default) never takes
+        # it; see the module docstring for the sharded locking model.
+        self._serialized = self.config.engine_mode == "serialized"
+        self._global_lock = threading.Lock()
         # Quarantine membership has its own tiny lock so health probes
-        # never wait behind the engine lock (which is held across origin
-        # fetches, including their retry backoff).
+        # never wait behind a class lock mid-encode or a struggling
+        # origin fetch.
         self._health_lock = threading.Lock()
         self._quarantined: set[str] = set()
         self._rng = random.Random(self.config.seed)
@@ -155,7 +212,7 @@ class DeltaServer:
         self._estimator = LightEstimator()
         self._class_ids = itertools.count(1)
         self._controllers: dict[str, RebaseController] = {}
-        self.stats = ServerStats()
+        self._counters = StripedCounters(STAT_FIELDS)
         self.storage = StorageManager(self.config.storage_budget_bytes)
         self.grouper = Grouper(
             config=self.config.grouping,
@@ -167,6 +224,11 @@ class DeltaServer:
         )
 
     # -- wiring ----------------------------------------------------------------
+
+    @property
+    def stats(self) -> ServerStats:
+        """A :class:`ServerStats` snapshot of the striped counters."""
+        return ServerStats(**self._counters.snapshot())
 
     def _new_class(self, server: str, hint: str) -> DocumentClass:
         class_id = f"cls{next(self._class_ids)}"
@@ -185,50 +247,74 @@ class DeltaServer:
         self._controllers[class_id] = RebaseController(self.config.base_file)
         return cls
 
-    def _delta_size(self, base: bytes, target: bytes) -> int:
-        return encoded_size(self._encoder.encode(base, target).instructions, len(base))
+    def _delta_size(self, cls: DocumentClass, document: bytes) -> int | None:
+        """Exact-differ probe for the grouper, against the cached index."""
+        with cls.lock:
+            index = cls.exact_match_index()
+        if index is None:
+            return None
+        result = self._encoder.encode_with_index(index, document)
+        return encoded_size(result.instructions, len(index.base))
 
     def _light_size(self, base: bytes, target: bytes) -> int:
         return self._estimator.estimate(base, target)
+
+    @contextmanager
+    def _class_locked(
+        self, cls: DocumentClass, timings: dict[str, float]
+    ) -> Iterator[None]:
+        """Acquire ``cls.lock``, charging the wait to the lock_wait stage."""
+        entered = perf_counter()
+        cls.lock.acquire()
+        timings["lock_wait"] += perf_counter() - entered
+        try:
+            yield
+        finally:
+            cls.lock.release()
 
     # -- request handling ----------------------------------------------------------
 
     def handle(self, request: Request, now: float) -> Response:
         """Process one client (or proxy-forwarded) request.
 
-        Thread-safe: concurrent callers serialize on the engine lock (the
-        whole request pipeline mutates shared class state).
+        Thread-safe.  In the default ``sharded`` mode concurrent callers
+        for different classes proceed in parallel (see the module
+        docstring for the locking model); ``serialized`` mode funnels
+        every caller through one global lock, origin fetch included.
 
         Each request's pipeline stages (lock wait, class lookup, origin
         fetch, encode, compress) are timed into the engine's metrics
         registry and attached to the response as ``X-Stage-Times`` so a
         slow request can be correlated (via ``X-Trace-Id``) with the
-        stage that cost it.
+        stage that cost it.  ``lock_wait`` aggregates every wait of the
+        request — global lock in serialized mode; shard, class, and
+        commit lock acquisitions in sharded mode.
         """
-        timings: dict[str, float] = {}
-        entered = perf_counter()
-        with self._lock:
-            acquired = perf_counter()
-            response = self._handle_locked(request, now, timings)
-        timings["lock_wait"] = acquired - entered
-        if timings:
-            response.headers.set(HEADER_STAGE_TIMES, format_stage_times(timings))
-            for stage, seconds in timings.items():
-                self.metrics.observe(
-                    "engine_stage_seconds",
-                    seconds,
-                    {"stage": stage},
-                    help="per-request delta-server pipeline stage durations",
-                )
+        timings: dict[str, float] = {"lock_wait": 0.0}
+        if self._serialized:
+            entered = perf_counter()
+            with self._global_lock:
+                timings["lock_wait"] += perf_counter() - entered
+                response = self._process(request, now, timings)
+        else:
+            response = self._process(request, now, timings)
+        response.headers.set(HEADER_STAGE_TIMES, format_stage_times(timings))
+        for stage, seconds in timings.items():
+            self.metrics.observe(
+                "engine_stage_seconds",
+                seconds,
+                {"stage": stage},
+                help="per-request delta-server pipeline stage durations",
+            )
         return response
 
-    def _handle_locked(
+    def _process(
         self, request: Request, now: float, timings: dict[str, float]
     ) -> Response:
         base_file = self._parse_base_file_url(request.url)
         if base_file is not None:
             started = perf_counter()
-            response = self._serve_base_file(*base_file)
+            response = self._serve_base_file(*base_file, timings=timings)
             timings["base_file"] = perf_counter() - started
             return response
 
@@ -239,65 +325,80 @@ class DeltaServer:
             # The resilience policy gave up (circuit open, retries or
             # deadline spent): degrade gracefully instead of failing.
             timings["origin_fetch"] = perf_counter() - started
-            return self._degraded_response(request)
+            return self._degraded_response(request, timings)
         timings["origin_fetch"] = perf_counter() - started
-        self.stats.requests += 1
+        self._counters.inc("requests")
         if (
             origin_response.status != 200
             or len(origin_response.body) < self.config.min_document_bytes
         ):
-            self.stats.passthrough += 1
+            self._counters.inc("passthrough")
             return origin_response
 
         document = origin_response.body
-        self.stats.direct_bytes += len(document)
+        self._counters.inc("direct_bytes", len(document))
 
         started = perf_counter()
-        cls, created = self.grouper.classify(request.url, document)
-        cls.policy.observe(document, request.user_id)
-        if created or cls.raw_base is None:
-            # The class is born with this response as its base-file (the
-            # simplest scheme); a storage-released or quarantined class
-            # re-adopts the same way.  The policy may replace the base
-            # later.
-            was_quarantined = cls.quarantined
-            cls.adopt_base(document, owner_user=request.user_id, now=now)
-            if was_quarantined:
-                self.stats.quarantine_recoveries += 1
-                with self._health_lock:
-                    self._quarantined.discard(cls.class_id)
-        else:
-            cls.feed(document, request.user_id)
-            self._maybe_rebase(cls, document, request.user_id, now)
+        waited_before = timings["lock_wait"]
+        cls, _created = self.grouper.classify(request.url, document, timings)
+        self._ingest(cls, request, document, now, timings)
         if self.storage.stats.enforced:
+            # Never called holding a class lock (the manager takes them
+            # one at a time); a release racing an in-flight encode is
+            # caught by that request's commit revalidation.
             self.storage.enforce(self.grouper.classes, protect=cls)
-        timings["classify"] = perf_counter() - started
+        timings["classify"] = (perf_counter() - started) - (
+            timings["lock_wait"] - waited_before
+        )
 
         return self._respond(cls, request, document, timings)
 
-    def class_of(self, url: str) -> DocumentClass | None:
-        """The class a URL has been grouped into, if any (diagnostics)."""
-        with self._lock:
-            return self._find_class(url)
+    def _ingest(
+        self,
+        cls: DocumentClass,
+        request: Request,
+        document: bytes,
+        now: float,
+        timings: dict[str, float],
+    ) -> None:
+        """Feed one fresh origin document into the class, under its lock."""
+        with self._class_locked(cls, timings):
+            cls.policy.observe(document, request.user_id)
+            if cls.raw_base is None:
+                # The class is born with this response as its base-file
+                # (the simplest scheme); a storage-released or quarantined
+                # class re-adopts the same way.  The policy may replace
+                # the base later.
+                was_quarantined = cls.quarantined
+                cls.adopt_base(document, owner_user=request.user_id, now=now)
+                if was_quarantined:
+                    self._counters.inc("quarantine_recoveries")
+                    with self._health_lock:
+                        self._quarantined.discard(cls.class_id)
+            else:
+                cls.feed(document, request.user_id)
+                self._maybe_rebase(cls, document, request.user_id, now)
 
-    def _find_class(self, url: str) -> DocumentClass | None:
-        for cls in self.grouper.classes:
-            if url in cls.members:
-                return cls
-        return None
+    def class_of(self, url: str) -> DocumentClass | None:
+        """The class a URL has been grouped into, if any (diagnostics).
+
+        O(1) against the grouper's url → class map — no lock, no scan.
+        """
+        return self.grouper.class_for_url(url)
 
     def health_snapshot(self) -> dict:
         """Self-healing and degradation state for the health endpoint.
 
-        Deliberately avoids the engine lock (held across origin fetches,
-        including retry backoff) so a health probe never blocks behind a
-        struggling origin; counter reads are single machine words.
+        Deliberately avoids every engine lock (a class lock may be held
+        across an encode, and serialized mode holds the global lock
+        across origin fetches) so a health probe never blocks behind a
+        struggling origin; counters are weakly-consistent striped reads.
         """
         with self._health_lock:
             quarantined = sorted(self._quarantined)
         stats = self.stats
         return {
-            "classes": len(self.grouper.classes),
+            "classes": self.grouper.class_count(),
             "quarantined": quarantined,
             "quarantines": stats.quarantines,
             "quarantine_recoveries": stats.quarantine_recoveries,
@@ -305,11 +406,15 @@ class DeltaServer:
             "encode_failures": stats.encode_failures,
             "stale_served": stats.stale_served,
             "origin_unavailable": stats.origin_unavailable,
+            "commit_conflicts": stats.commit_conflicts,
+            "commit_fallbacks": stats.commit_fallbacks,
         }
 
     # -- internals ---------------------------------------------------------------
 
-    def _degraded_response(self, request: Request) -> Response:
+    def _degraded_response(
+        self, request: Request, timings: dict[str, float]
+    ) -> Response:
         """Answer without the origin: marked-stale base-file, else 502.
 
         The class's distributable base is a complete, recently-accurate
@@ -317,37 +422,39 @@ class DeltaServer:
         while the origin recovers.  The response is explicitly marked so
         clients and freshness checks know it is not a fresh render.
         """
-        cls = self._find_class(request.url)
-        if (
-            cls is not None
-            and cls.can_serve_deltas
-            and cls.integrity_ok(cls.version)
-        ):
-            assert cls.distributable_base is not None
-            response = Response(status=200, body=cls.distributable_base)
-            response.headers.set(HEADER_DEGRADED, "stale-base")
-            response.headers.set("Warning", '110 - "response is stale"')
-            self.stats.stale_served += 1
-            return response
-        self.stats.origin_unavailable += 1
+        cls = self.grouper.class_for_url(request.url)
+        if cls is not None:
+            with self._class_locked(cls, timings):
+                if cls.can_serve_deltas and cls.integrity_ok(cls.version):
+                    assert cls.distributable_base is not None
+                    response = Response(status=200, body=cls.distributable_base)
+                    response.headers.set(HEADER_DEGRADED, "stale-base")
+                    response.headers.set("Warning", '110 - "response is stale"')
+                    self._counters.inc("stale_served")
+                    return response
+        self._counters.inc("origin_unavailable")
         response = Response(status=502, body=b"origin unavailable")
         response.headers.set(HEADER_DEGRADED, "origin-unavailable")
         return response
 
     def _quarantine(self, cls: DocumentClass, *, cause: str) -> None:
-        """Pull a class out of delta service after an engine fault."""
+        """Pull a class out of delta service after an engine fault.
+
+        Caller must hold ``cls.lock``.
+        """
         cls.quarantine()
-        self.stats.quarantines += 1
+        self._counters.inc("quarantines")
         if cause == "integrity":
-            self.stats.integrity_failures += 1
+            self._counters.inc("integrity_failures")
         else:
-            self.stats.encode_failures += 1
+            self._counters.inc("encode_failures")
         with self._health_lock:
             self._quarantined.add(cls.class_id)
 
     def _maybe_rebase(
         self, cls: DocumentClass, document: bytes, user_id: str | None, now: float
     ) -> None:
+        """Apply rebase policy for one class.  Caller holds ``cls.lock``."""
         if cls.anonymization_pending:
             # A rebase is already in flight (its base is being anonymized);
             # re-triggering would restart the user-collection window forever
@@ -365,109 +472,188 @@ class DeltaServer:
             cls.policy.flush()
             cls.adopt_base(decision.new_base, owner_user=user_id, now=now)
             cls.stats.basic_rebases += 1
-            self.stats.basic_rebases += 1
+            self._counters.inc("basic_rebases")
         else:
             owner = cls.policy.current_owner()
             cls.adopt_base(decision.new_base, owner_user=owner, now=now)
             cls.stats.group_rebases += 1
-            self.stats.group_rebases += 1
+            self._counters.inc("group_rebases")
         controller.reset()
+
+    # -- snapshot / encode / commit ------------------------------------------------
 
     def _respond(
         self,
         cls: DocumentClass,
         request: Request,
         document: bytes,
-        timings: dict[str, float] | None = None,
+        timings: dict[str, float],
     ) -> Response:
-        if not cls.can_serve_deltas:
-            return self._full_response(cls, None, document)
-        current_ref = base_ref(cls.class_id, cls.version)
-        accepted = request.accepts_delta()
-        if current_ref in accepted:
-            delta_response = self._delta_response(
-                cls, cls.version, document, timings
-            )
-            if delta_response is not None:
-                return delta_response
-        elif cls.previous_version is not None and (
-            base_ref(cls.class_id, cls.previous_version) in accepted
-        ):
-            # The client still holds the pre-rebase base: serve a delta
-            # against it and advertise the new base so the client upgrades
-            # without ever taking a full response.
-            delta_response = self._delta_response(
-                cls, cls.previous_version, document, timings
-            )
-            if delta_response is not None:
-                delta_response.headers.set(HEADER_DELTA_BASE, current_ref)
-                return delta_response
-        # A delta attempt may have just quarantined the class (corrupted
-        # base or encoder fault): then current_ref points at a released
-        # base and must not be advertised.
-        ref = None if cls.quarantined else current_ref
-        return self._full_response(cls, ref, document)
+        """Answer with a delta when possible, else the full document.
 
-    def _delta_response(
+        Delta generation follows snapshot-encode-commit: the base version
+        and its index are snapshotted under the class lock, the encode and
+        compress run under *no* lock, and the commit revalidates the
+        version.  A commit that lost a rebase/release race is retried
+        (``config.commit_retries`` times) against the fresh state; when
+        retries run out — or the fresh state no longer admits a delta —
+        the full document is served.  The loop can therefore never emit a
+        delta referencing a base version that has been retired.
+        """
+        accepted = request.accepts_delta()
+        conflicts = 0
+        for _attempt in range(1 + self.config.commit_retries):
+            plan = self._plan_delta(cls, accepted, timings)
+            if plan is None:
+                break
+            encoded = self._encode_delta(cls, plan, document, timings)
+            if encoded is None:
+                break  # encoder fault — class just quarantined
+            outcome, response = self._commit_delta(
+                cls, plan, encoded, document, timings
+            )
+            if outcome == "served":
+                assert response is not None
+                return response
+            if outcome == "full":
+                break  # degenerate delta: full document is cheaper
+            conflicts += 1
+            self._counters.inc("commit_conflicts")
+        if conflicts:
+            self._counters.inc("commit_fallbacks")
+        return self._full_response(cls, document, timings)
+
+    def _plan_delta(
         self,
         cls: DocumentClass,
-        version: int,
+        accepted: list[str],
+        timings: dict[str, float],
+    ) -> _DeltaPlan | None:
+        """Snapshot the servable base version for an off-lock encode."""
+        with self._class_locked(cls, timings):
+            if not cls.can_serve_deltas:
+                return None
+            if base_ref(cls.class_id, cls.version) in accepted:
+                version = cls.version
+            elif cls.previous_version is not None and (
+                base_ref(cls.class_id, cls.previous_version) in accepted
+            ):
+                # The client still holds the pre-rebase base: serve a
+                # delta against it (the commit will advertise the new
+                # base so the client upgrades without a full response).
+                version = cls.previous_version
+            else:
+                return None
+            index = cls.full_index_for(version)
+            if index is None:
+                return None
+            if not cls.integrity_ok(version):
+                # The stored base no longer matches its promotion
+                # checksum: storage corruption.  Quarantine before a delta
+                # against rotten bytes reaches any client.
+                self._quarantine(cls, cause="integrity")
+                return None
+            return _DeltaPlan(
+                version=version,
+                index=index,
+                served_current=version == cls.version,
+            )
+
+    def _encode_delta(
+        self,
+        cls: DocumentClass,
+        plan: _DeltaPlan,
         document: bytes,
-        timings: dict[str, float] | None = None,
-    ) -> Response | None:
-        index = cls.full_index_for(version)
-        if index is None:
-            return None
-        if not cls.integrity_ok(version):
-            # The stored base no longer matches its promotion checksum:
-            # storage corruption.  Quarantine before a delta against
-            # rotten bytes reaches any client.
-            self._quarantine(cls, cause="integrity")
-            return None
-        ref = base_ref(cls.class_id, version)
+        timings: dict[str, float],
+    ) -> tuple[bytes, bytes] | None:
+        """Encode + compress against the snapshot, under no lock."""
         started = perf_counter()
         try:
-            result = self._encoder.encode_with_index(index, document)
+            result = self._encoder.encode_with_index(plan.index, document)
             wire = encode_delta(
-                result.instructions, len(index.base), checksum(document)
+                result.instructions, len(plan.index.base), checksum(document)
             )
             encoded_at = perf_counter()
             payload = compress(wire, self.config.compression_level)
-            if timings is not None:
-                timings["encode"] = encoded_at - started
-                timings["compress"] = perf_counter() - encoded_at
         except Exception:
             # An encoder/codec fault costs this class its delta service
             # (one full response now, fresh base on the next good fetch),
             # never the request.
-            self._quarantine(cls, cause="encode")
+            with self._class_locked(cls, timings):
+                self._quarantine(cls, cause="encode")
             return None
-        controller = self._controllers[cls.class_id]
-        controller.note_delta(len(wire), len(document))
-        if len(payload) >= len(document):
-            # Degenerate delta (base drifted badly); the full document is
-            # cheaper.  The controller already saw the bad ratio, so a
-            # basic-rebase will follow shortly.
-            return None
-        response = Response(status=200, body=payload)
-        response.headers.set(HEADER_DELTA, ref)
-        response.headers.set(HEADER_CONTENT_ENCODING, "deflate")
-        self.stats.deltas_served += 1
-        self.stats.sent_bytes += len(payload)
-        cls.stats.deltas_served += 1
-        return response
+        timings["encode"] = timings.get("encode", 0.0) + (encoded_at - started)
+        timings["compress"] = timings.get("compress", 0.0) + (
+            perf_counter() - encoded_at
+        )
+        return wire, payload
+
+    def _commit_delta(
+        self,
+        cls: DocumentClass,
+        plan: _DeltaPlan,
+        encoded: tuple[bytes, bytes],
+        document: bytes,
+        timings: dict[str, float],
+    ) -> tuple[str, Response | None]:
+        """Revalidate the snapshot and publish the delta.
+
+        Returns ``("served", response)``, ``("full", None)`` for a
+        degenerate delta, or ``("conflict", None)`` when a rebase,
+        quarantine, or storage release retired the snapshotted version
+        while the encode ran off-lock.
+        """
+        wire, payload = encoded
+        with self._class_locked(cls, timings):
+            if plan.served_current:
+                valid = cls.version == plan.version and cls.can_serve_deltas
+            else:
+                valid = (
+                    not cls.quarantined
+                    and cls.previous_version == plan.version
+                    and cls.base_for_version(plan.version) is not None
+                )
+            if not valid:
+                return "conflict", None
+            controller = self._controllers[cls.class_id]
+            controller.note_delta(len(wire), len(document))
+            if len(payload) >= len(document):
+                # Degenerate delta (base drifted badly); the full document
+                # is cheaper.  The controller already saw the bad ratio,
+                # so a basic-rebase will follow shortly.
+                return "full", None
+            response = Response(status=200, body=payload)
+            response.headers.set(HEADER_DELTA, base_ref(cls.class_id, plan.version))
+            response.headers.set(HEADER_CONTENT_ENCODING, "deflate")
+            if not plan.served_current:
+                response.headers.set(
+                    HEADER_DELTA_BASE, base_ref(cls.class_id, cls.version)
+                )
+            cls.stats.deltas_served += 1
+        self._counters.inc("deltas_served")
+        self._counters.inc("sent_bytes", len(payload))
+        return "served", response
 
     def _full_response(
-        self, cls: DocumentClass, ref: str | None, document: bytes
+        self, cls: DocumentClass, document: bytes, timings: dict[str, float]
     ) -> Response:
         response = Response(status=200, body=document)
+        with self._class_locked(cls, timings):
+            # A delta attempt may have just quarantined the class
+            # (corrupted base or encoder fault): then the current ref
+            # points at a released base and must not be advertised.
+            ref = (
+                base_ref(cls.class_id, cls.version)
+                if cls.can_serve_deltas
+                else None
+            )
+            cls.stats.full_served += 1
         if ref is not None:
             # Advertise the class's base-file so the client can pick it up
             # (via any proxy-cache on the way) and use deltas next time.
             response.headers.set(HEADER_DELTA_BASE, ref)
-        self.stats.full_served += 1
-        self.stats.sent_bytes += len(document)
-        cls.stats.full_served += 1
+        self._counters.inc("full_served")
+        self._counters.inc("sent_bytes", len(document))
         return response
 
     # -- base-file distribution -------------------------------------------------------
@@ -496,24 +682,27 @@ class DeltaServer:
             return None
         return class_id, int(version)
 
-    def _serve_base_file(self, class_id: str, version: int) -> Response:
+    def _serve_base_file(
+        self, class_id: str, version: int, *, timings: dict[str, float]
+    ) -> Response:
         try:
             cls = self.grouper.class_by_id(class_id)
         except KeyError:
             return Response(status=404, body=b"unknown class")
-        body = cls.base_for_version(version)
-        if body is None:
-            return Response(status=404, body=b"stale base-file version")
-        if not cls.integrity_ok(version):
-            # Never distribute corrupted bytes; the class heals itself on
-            # its next document fetch.
-            self._quarantine(cls, cause="integrity")
-            return Response(status=404, body=b"base-file quarantined")
-        response = Response(status=200, body=body)
-        response.headers.set(HEADER_DELTA_BASE, base_ref(class_id, version))
-        response.mark_cachable()
-        self.stats.base_files_served += 1
-        self.stats.base_file_bytes += len(body)
+        with self._class_locked(cls, timings):
+            body = cls.base_for_version(version)
+            if body is None:
+                return Response(status=404, body=b"stale base-file version")
+            if not cls.integrity_ok(version):
+                # Never distribute corrupted bytes; the class heals itself
+                # on its next document fetch.
+                self._quarantine(cls, cause="integrity")
+                return Response(status=404, body=b"base-file quarantined")
+            response = Response(status=200, body=body)
+            response.headers.set(HEADER_DELTA_BASE, base_ref(class_id, version))
+            response.mark_cachable()
+        self._counters.inc("base_files_served")
+        self._counters.inc("base_file_bytes", len(body))
         return response
 
     @staticmethod

@@ -23,6 +23,16 @@ A *matching* occurs when the estimated delta is below
 Manual grouping — "the administrator has the option to manually group URLs
 into classes" — is supported via regex pin rules checked before the
 automatic search.
+
+Concurrency: classification is sharded.  The fast path (a URL already
+grouped) is lock-free — one dict read against the url → class map.  The
+slow path (the actual search) serializes on a *shard lock* keyed by the
+request's ``(server, hint)`` pair, so searches for different sites — and
+different hints of one site — run in parallel while two racing first
+requests for the same key can never fork a class.  Probing a candidate
+class's light index takes that class's own lock only for the cached-index
+lookup; the estimate itself runs against the immutable index outside it.
+Registry maps are guarded by a single brief registry lock.
 """
 
 from __future__ import annotations
@@ -30,7 +40,9 @@ from __future__ import annotations
 import math
 import random
 import re
+import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.core.classes import DocumentClass
@@ -38,6 +50,10 @@ from repro.core.config import GroupingConfig
 from repro.delta.light import LightEstimator
 from repro.url.parts import URLParts
 from repro.url.rules import RuleBook
+
+#: signature of the exact-delta probe: measured delta between a candidate
+#: class's (cached-index) base and the document, or None if not probeable.
+ExactDelta = Callable[[DocumentClass, bytes], "int | None"]
 
 
 @dataclass(slots=True)
@@ -70,7 +86,7 @@ class Grouper:
         estimator: LightEstimator,
         class_factory: Callable[[str, str], DocumentClass],
         rng: random.Random,
-        exact_delta: Callable[[bytes, bytes], int] | None = None,
+        exact_delta: ExactDelta | None = None,
     ) -> None:
         self._config = config
         self._rulebook = rulebook
@@ -85,18 +101,39 @@ class Grouper:
         self._by_key: dict[tuple[str, str], list[DocumentClass]] = {}
         self._url_to_class: dict[str, str] = {}
         self._manual_rules: list[tuple[re.Pattern[str], str]] = []
+        # Registry lock: guards the maps above (brief, never held across a
+        # probe or an estimate).  Shard locks serialize the search per
+        # (server, hint) key; stats lock keeps search diagnostics exact.
+        self._registry_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._shard_locks: dict[tuple[str, str], threading.Lock] = {}
 
     # -- registry ------------------------------------------------------------
 
     @property
     def classes(self) -> list[DocumentClass]:
-        return list(self._classes.values())
+        with self._registry_lock:
+            return list(self._classes.values())
 
     def class_by_id(self, class_id: str) -> DocumentClass:
         return self._classes[class_id]
 
+    def class_for_url(self, url: str) -> DocumentClass | None:
+        """The class ``url`` has been grouped into, or None.
+
+        One dict read against the url → class map the grouper maintains on
+        every membership change — O(1), replacing the old engine-side
+        O(classes × members) scan, and safe without any lock (classes are
+        never deleted; dict reads are atomic).
+        """
+        class_id = self._url_to_class.get(url)
+        if class_id is None:
+            return None
+        return self._classes.get(class_id)
+
     def class_count(self) -> int:
-        return len(self._classes)
+        with self._registry_lock:
+            return len(self._classes)
 
     def pin_manual(self, url_pattern: str, class_id: str) -> None:
         """Manually route URLs matching ``url_pattern`` to ``class_id``.
@@ -106,60 +143,102 @@ class Grouper:
         """
         if class_id not in self._classes:
             raise KeyError(f"unknown class {class_id!r}")
-        self._manual_rules.append((re.compile(url_pattern), class_id))
+        with self._registry_lock:
+            self._manual_rules.append((re.compile(url_pattern), class_id))
 
     def create_class(self, parts: URLParts) -> DocumentClass:
         """Create (and register) an empty class for a URL's parts."""
         cls = self._class_factory(parts.server, parts.hint)
-        self._classes[cls.class_id] = cls
-        self._by_server.setdefault(parts.server, []).append(cls)
-        self._by_key.setdefault(parts.key, []).append(cls)
+        with self._registry_lock:
+            self._classes[cls.class_id] = cls
+            self._by_server.setdefault(parts.server, []).append(cls)
+            self._by_key.setdefault(parts.key, []).append(cls)
         return cls
+
+    def _shard_lock(self, key: tuple[str, str]) -> threading.Lock:
+        lock = self._shard_locks.get(key)
+        if lock is None:
+            with self._registry_lock:
+                lock = self._shard_locks.setdefault(key, threading.Lock())
+        return lock
 
     # -- the grouping search ------------------------------------------------------
 
-    def classify(self, url: str, document: bytes) -> tuple[DocumentClass, bool]:
+    def classify(
+        self,
+        url: str,
+        document: bytes,
+        timings: dict[str, float] | None = None,
+    ) -> tuple[DocumentClass, bool]:
         """Assign ``(url, document)`` to a class; returns ``(class, created)``.
 
         URLs keep their class once grouped — subsequent requests for a known
-        URL skip the search entirely, so search cost is paid once per
-        distinct document, not once per request.
+        URL skip the search entirely (and skip every lock except the hit
+        counter's class lock), so search cost is paid once per distinct
+        document, not once per request.  Time spent blocked on the shard
+        lock is added to ``timings["lock_wait"]`` when a dict is passed.
         """
-        self.stats.requests += 1
-        known = self._url_to_class.get(url)
+        with self._stats_lock:
+            self.stats.requests += 1
+        known = self.class_for_url(url)
         if known is not None:
-            cls = self._classes[known]
-            cls.stats.hits += 1
-            return cls, False
+            with known.lock:
+                known.stats.hits += 1
+            return known, False
 
         parts = self._rulebook.partition(url)
-        manual = self._match_manual(url)
-        if manual is not None:
-            self._adopt(manual, url)
-            self.stats.manual += 1
-            return manual, False
+        shard = self._shard_lock(parts.key)
+        entered = perf_counter()
+        shard.acquire()
+        if timings is not None:
+            timings["lock_wait"] = (
+                timings.get("lock_wait", 0.0) + perf_counter() - entered
+            )
+        try:
+            # Double-check under the shard lock: a racing request for the
+            # same URL may have grouped it while we waited.
+            known = self.class_for_url(url)
+            if known is not None:
+                with known.lock:
+                    known.stats.hits += 1
+                return known, False
 
-        match = self._search(parts, document)
-        if match is not None:
-            self._adopt(match, url)
-            self.stats.matched += 1
-            return match, False
+            manual = self._match_manual(url)
+            if manual is not None:
+                self._adopt(manual, url)
+                with self._stats_lock:
+                    self.stats.manual += 1
+                return manual, False
 
-        cls = self.create_class(parts)
-        self._adopt(cls, url)
-        self.stats.created += 1
-        return cls, True
+            match = self._search(parts, document)
+            if match is not None:
+                self._adopt(match, url)
+                with self._stats_lock:
+                    self.stats.matched += 1
+                return match, False
+
+            cls = self.create_class(parts)
+            self._adopt(cls, url)
+            with self._stats_lock:
+                self.stats.created += 1
+            return cls, True
+        finally:
+            shard.release()
 
     def _match_manual(self, url: str) -> DocumentClass | None:
-        for pattern, class_id in self._manual_rules:
+        with self._registry_lock:
+            rules = list(self._manual_rules)
+        for pattern, class_id in rules:
             if pattern.match(url):
                 return self._classes[class_id]
         return None
 
     def _adopt(self, cls: DocumentClass, url: str) -> None:
-        cls.add_member(url)
-        cls.stats.hits += 1
-        self._url_to_class[url] = cls.class_id
+        with cls.lock:
+            cls.add_member(url)
+            cls.stats.hits += 1
+        with self._registry_lock:
+            self._url_to_class[url] = cls.class_id
 
     def _search(self, parts: URLParts, document: bytes) -> DocumentClass | None:
         eligible = self._eligible(parts)
@@ -176,7 +255,8 @@ class Grouper:
             if estimate is None:
                 continue  # class has no base yet; not probeable
             tries += 1
-            self.stats.total_tries += 1
+            with self._stats_lock:
+                self.stats.total_tries += 1
             if estimate <= threshold:
                 if self._config.first_match:
                     self._record_tries(tries)
@@ -188,14 +268,18 @@ class Grouper:
         return best
 
     def _record_tries(self, tries: int) -> None:
-        self.stats.tries_histogram[tries] = self.stats.tries_histogram.get(tries, 0) + 1
+        with self._stats_lock:
+            self.stats.tries_histogram[tries] = (
+                self.stats.tries_histogram.get(tries, 0) + 1
+            )
 
     def _eligible(self, parts: URLParts) -> list[DocumentClass]:
         """Heuristic 2: restrict to same-hint classes when any exist."""
-        same_hint = self._by_key.get(parts.key)
-        if same_hint:
-            return same_hint
-        return self._by_server.get(parts.server, [])
+        with self._registry_lock:
+            same_hint = self._by_key.get(parts.key)
+            if same_hint:
+                return list(same_hint)
+            return list(self._by_server.get(parts.server, ()))
 
     def _probe_order(self, eligible: list[DocumentClass]) -> list[DocumentClass]:
         """Heuristic 3: ``a·N`` most popular first, then random others."""
@@ -212,13 +296,19 @@ class Grouper:
         return head + tail
 
     def _estimate(self, cls: DocumentClass, document: bytes) -> int | None:
-        """Estimated delta between the class base and ``document``."""
+        """Estimated delta between the class base and ``document``.
+
+        Only the cached-index lookup holds the candidate's class lock;
+        the estimate runs against the immutable index outside it, so a
+        cross-shard probe never blocks another shard's pipeline for the
+        duration of a diff.
+        """
         if self._config.use_light_estimator:
-            index = cls.light_index()
+            with cls.lock:
+                index = cls.light_index()
             if index is None:
                 return None
             return self._estimator.estimate_with_index(index, document)
-        base = cls.distributable_base if cls.can_serve_deltas else cls.raw_base
-        if not base or self._exact_delta is None:
+        if self._exact_delta is None:
             return None
-        return self._exact_delta(base, document)
+        return self._exact_delta(cls, document)

@@ -11,10 +11,20 @@ base-file bytes and, when a budget is set, reclaims space in two stages:
 2. release the base-files of the least popular classes entirely — the
    class survives (membership, policy samples) and re-adopts a base from
    the next request it sees, paying one anonymization warm-up.
+
+Concurrency: at most one enforcement pass runs at a time (an internal
+manager lock — also what keeps the reclaim counters exact), and every
+per-class read or release happens under that class's own lock, one class
+at a time.  The manager never holds two class locks at once and callers
+must not hold *any* class lock while invoking :meth:`StorageManager.enforce`,
+which together rule out lock-ordering deadlocks with the sharded engine's
+request pipeline.  A class released mid-flight is caught by the engine's
+delta-commit revalidation (the snapshot version is gone → full response).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.classes import DocumentClass
@@ -34,7 +44,10 @@ class StorageStats:
 
 
 def class_storage_bytes(cls: DocumentClass) -> int:
-    """Bytes this class pins on the server (raw + distributable + previous)."""
+    """Bytes this class pins on the server (raw + distributable + previous).
+
+    Callers that may race class mutation must hold ``cls.lock``.
+    """
     total = len(cls.raw_base or b"")
     distributable = cls.distributable_base
     if distributable is not None and distributable is not cls.raw_base:
@@ -52,10 +65,15 @@ class StorageManager:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be > 0, got {budget_bytes}")
         self.stats = StorageStats(budget_bytes=budget_bytes)
+        self._lock = threading.Lock()
 
     def total_bytes(self, classes: list[DocumentClass]) -> int:
         """Current base-file storage across ``classes``."""
-        return sum(class_storage_bytes(cls) for cls in classes)
+        total = 0
+        for cls in classes:
+            with cls.lock:
+                total += class_storage_bytes(cls)
+        return total
 
     def enforce(
         self, classes: list[DocumentClass], protect: DocumentClass | None = None
@@ -64,32 +82,36 @@ class StorageManager:
 
         ``protect`` (typically the class serving the current request) is
         never released, though its previous generation may be dropped.
+        Do not call while holding any class lock.
         """
         budget = self.stats.budget_bytes
         if budget is None:
             return 0
-        used = self.total_bytes(classes)
-        if used <= budget:
-            return 0
-        reclaimed = 0
+        with self._lock:
+            used = self.total_bytes(classes)
+            if used <= budget:
+                return 0
+            reclaimed = 0
 
-        # Stage 1: previous generations, coldest classes first.
-        for cls in sorted(classes, key=lambda c: c.popularity):
-            if used - reclaimed <= budget:
-                return reclaimed
-            freed = cls.drop_previous()
-            if freed:
-                reclaimed += freed
-                self.stats.previous_drops += 1
+            # Stage 1: previous generations, coldest classes first.
+            for cls in sorted(classes, key=lambda c: c.popularity):
+                if used - reclaimed <= budget:
+                    return reclaimed
+                with cls.lock:
+                    freed = cls.drop_previous()
+                if freed:
+                    reclaimed += freed
+                    self.stats.previous_drops += 1
 
-        # Stage 2: whole base-files of the least popular classes.
-        for cls in sorted(classes, key=lambda c: c.popularity):
-            if used - reclaimed <= budget:
-                break
-            if cls is protect:
-                continue
-            freed = cls.release_base()
-            if freed:
-                reclaimed += freed
-                self.stats.base_releases += 1
-        return reclaimed
+            # Stage 2: whole base-files of the least popular classes.
+            for cls in sorted(classes, key=lambda c: c.popularity):
+                if used - reclaimed <= budget:
+                    break
+                if cls is protect:
+                    continue
+                with cls.lock:
+                    freed = cls.release_base()
+                if freed:
+                    reclaimed += freed
+                    self.stats.base_releases += 1
+            return reclaimed

@@ -17,6 +17,7 @@ classes, several times cheaper than the full differ.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -41,6 +42,13 @@ class LightEstimator:
         repeatedly — every admitted base-file candidate, every class base.
         Estimates tolerate the astronomically unlikely checksum collision;
         the *full* encoder deliberately has no such cache.
+
+    One estimator is shared by the whole sharded engine (every class, every
+    shard), so the LRU bookkeeping is guarded by a lock.  The expensive
+    part — building an index on a miss — deliberately runs *outside* the
+    lock: two racing misses for one base both build, one insert wins, and
+    the loser's index is garbage-collected; that beats serializing every
+    cross-shard probe behind one index build.
     """
 
     chunk_size: int = 16
@@ -49,6 +57,9 @@ class LightEstimator:
     _encoder: VdeltaEncoder = field(init=False, repr=False)
     _cache: "OrderedDict[tuple[int, int], BaseIndex]" = field(
         init=False, repr=False, default_factory=OrderedDict
+    )
+    _cache_lock: threading.Lock = field(
+        init=False, repr=False, default_factory=threading.Lock
     )
 
     def __post_init__(self) -> None:
@@ -63,14 +74,22 @@ class LightEstimator:
     def index(self, base: bytes) -> BaseIndex:
         """Return a (memoized) light index for a base-file."""
         key = (len(base), zlib.adler32(base))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            return cached
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached
         built = self._encoder.index(base)
-        self._cache[key] = built
-        while len(self._cache) > self.index_cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            # A racing miss may have inserted first; keep its entry (either
+            # index is equivalent) and just refresh recency.
+            existing = self._cache.get(key)
+            if existing is not None:
+                self._cache.move_to_end(key)
+                return existing
+            self._cache[key] = built
+            while len(self._cache) > self.index_cache_size:
+                self._cache.popitem(last=False)
         return built
 
     def estimate(self, base: bytes, target: bytes) -> int:

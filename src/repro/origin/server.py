@@ -3,10 +3,17 @@
 Plays the role of the Apache server in Fig. 2: given a request, it renders
 the *current snapshot* of the dynamic document.  The delta-server sits in
 front of it and never caches these responses — it diffs them.
+
+Thread-safe: the sharded engine fetches from the origin under no engine
+lock, so concurrent ``handle`` calls are the norm.  Rendering itself is
+pure (immutable templates, per-call seeded rngs) and runs in parallel;
+only the stats counters and the lazy profile registry sit behind an
+internal lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.http.messages import Request, Response
@@ -32,6 +39,10 @@ class OriginServer:
         self._profiles: dict[str, PrivateProfile] = {}
         self._shared_groups: dict[str, str] = {}
         self.stats = OriginStats()
+        # Guards stats and the lazy profile/shared-group registries; site
+        # registration happens at setup time and rendering is pure, so
+        # neither needs it.
+        self._lock = threading.Lock()
         for site in sites or []:
             self.add_site(site)
 
@@ -56,29 +67,39 @@ class OriginServer:
         pages, modelling the shared-corporate-card risk that motivates the
         M > 1 anonymization level.
         """
-        self._shared_groups[user_id] = group
-        self._profiles.pop(user_id, None)  # rebuild with the group attached
+        with self._lock:
+            self._shared_groups[user_id] = group
+            self._profiles.pop(user_id, None)  # rebuild with the group attached
 
     def profile_for(self, user_id: str) -> PrivateProfile:
         """The (lazily created) private-data profile of a user."""
-        profile = self._profiles.get(user_id)
-        if profile is None:
-            profile = profile_for(user_id, self._shared_groups.get(user_id))
-            self._profiles[user_id] = profile
-        return profile
+        with self._lock:
+            profile = self._profiles.get(user_id)
+            if profile is None:
+                # Deterministic per user, so building inside the lock keeps
+                # racing requests for one user on a single profile object.
+                profile = profile_for(user_id, self._shared_groups.get(user_id))
+                self._profiles[user_id] = profile
+            return profile
 
     def handle(self, request: Request, now: float) -> Response:
-        """Render the current snapshot for ``request`` at time ``now``."""
-        self.stats.requests += 1
+        """Render the current snapshot for ``request`` at time ``now``.
+
+        Safe to call from many threads at once; renders run in parallel.
+        """
+        with self._lock:
+            self.stats.requests += 1
         try:
             server, _ = split_server(request.url)
             site = self._sites[server]
             page = site.parse_url(request.url)
         except (KeyError, ValueError):
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             return Response(status=404, body=b"not found")
         body = self._render(site, page, request, now)
-        self.stats.bytes_rendered += len(body)
+        with self._lock:
+            self.stats.bytes_rendered += len(body)
         return Response(status=200, body=body)
 
     def _render(

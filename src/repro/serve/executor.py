@@ -7,16 +7,21 @@ pool so the loop only ever awaits.
 
 Three kinds:
 
-* ``thread`` (default) — a ``ThreadPoolExecutor``.  The delta-server
-  engine is shared mutable state guarded by its own lock, so threads are
-  the right vehicle: requests serialize on the engine (the paper's
-  single-CPU server) while connection I/O stays fully concurrent.  The
-  pure-Python differ holds the GIL while encoding, so threads do not add
-  CPU parallelism — they buy loop responsiveness, which is what the
-  ceiling-bound capacity experiment needs.
+* ``thread`` (default) — a ``ThreadPoolExecutor``.  The engine is sharded
+  (per-class locks, off-lock origin fetch, snapshot-encode-commit delta
+  generation — see :mod:`repro.core.delta_server`), so worker threads for
+  *different classes* genuinely overlap: origin waits run in parallel and
+  lock holds are brief.  The pure-Python differ still holds the GIL while
+  encoding, so CPU-bound encode work time-slices rather than running in
+  parallel — the win is overlap of origin latency, I/O, and (with a
+  C-accelerated differ or zlib-heavy payloads, which release the GIL)
+  real compute too.  The default pool size is therefore sized for
+  latency overlap, not core count: ``min(64, 4 × cores)``.
 * ``process`` — a ``ProcessPoolExecutor`` for *stateless, picklable*
-  jobs (e.g. raw ``make_delta`` calls).  A future sharded engine can use
-  it for true CPU parallelism; the shared class-map engine cannot be
+  jobs (e.g. raw ``make_delta`` calls).  Processes pay off when encode
+  CPU dominates the request (big documents, high compression levels) and
+  the job can be expressed without the shared class map — the engine
+  itself holds live locks and cross-referenced class state and cannot be
   shipped across process boundaries.
 * ``sync`` — run inline.  Fallback for environments without worker
   threads and for deterministic unit tests.
@@ -26,10 +31,21 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable
 
 KINDS = ("thread", "process", "sync")
+
+
+def default_thread_workers() -> int:
+    """Default thread-pool size: overlap-oriented, not core-count-bound.
+
+    Worker threads mostly wait (origin fetch, lock waits, loop I/O), so
+    the pool runs wider than the core count; 64 caps memory and context-
+    switch overhead on big machines.
+    """
+    return min(64, 4 * (os.cpu_count() or 4))
 
 
 class DeltaExecutor:
@@ -40,6 +56,8 @@ class DeltaExecutor:
             raise ValueError(f"executor kind must be one of {KINDS}, got {kind!r}")
         self.kind = kind
         if kind == "thread":
+            if max_workers is None:
+                max_workers = default_thread_workers()
             self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = (
                 ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="delta")
             )

@@ -21,10 +21,11 @@ points for robustness testing:
 ``fetch_sync`` is the flavour the :class:`DeltaServer` engine consumes as
 its ``origin_fetch`` (it runs on executor worker threads, so it may
 ``time.sleep``); ``fetch`` is the awaitable flavour used when the serving
-layer bypasses the engine (plain mode health checks, tests).  Origin
-access is serialized on an internal lock: the synthetic renderer and its
-stats counters are not thread-safe, and a single-CPU origin is exactly
-the paper's testbed shape.
+layer bypasses the engine (plain mode health checks, tests).  Renders run
+in parallel — the sharded engine fetches off-lock and the origin's
+renderer is pure — while the gateway's internal lock only covers its
+stats counters and the injection decisions (seeded rng draws, fault-plan
+bookkeeping), so a slow render never convoys other fetches.
 """
 
 from __future__ import annotations
@@ -117,7 +118,9 @@ class OriginGateway:
                 if injected is not None:
                     self.stats.faults_injected += 1
                     return injected
-            response = self.origin.handle(request, now)
+        # The render runs outside the gateway lock: OriginServer is
+        # thread-safe and rendering is the expensive part of a fetch.
+        response = self.origin.handle(request, now)
         if action.corrupt_flips and response.body:
             assert self.fault_plan is not None
             response = Response(

@@ -11,10 +11,11 @@ each mirroring a Section VI-C property of the paper's Apache testbed:
   capacity sweep models.
 * **The event loop never blocks on the differ** — delta generation (and
   origin rendering) runs on a :class:`DeltaExecutor` worker pool; the
-  loop only parses, awaits, and writes.  Requests serialize inside the
-  engine on its own lock (single-writer class state); connection handling
-  stays concurrent, which is exactly why small delta responses release
-  slots quickly.
+  loop only parses, awaits, and writes.  The engine is sharded
+  (per-class locks, off-lock origin fetch, snapshot-encode-commit delta
+  generation — :mod:`repro.core.delta_server`), so worker threads serving
+  different classes genuinely overlap instead of convoying on one engine
+  lock; connection handling stays concurrent on the loop.
 * **Per-request timeout** — a dispatch exceeding ``request_timeout``
   answers ``504`` and the connection keeps serving.
 * **Origin resilience** — origin access goes through a
@@ -413,6 +414,8 @@ class DeltaHTTPServer:
                 ("integrity_failures", stats.integrity_failures),
                 ("encode_failures", stats.encode_failures),
                 ("quarantine_recoveries", stats.quarantine_recoveries),
+                ("commit_conflicts", stats.commit_conflicts),
+                ("commit_fallbacks", stats.commit_fallbacks),
             ]
             for name, value in engine_counters:
                 full = f"repro_engine_{name}_total"

@@ -181,3 +181,32 @@ class TestCreateClass:
         cls = grouper.create_class(parts)
         assert cls.key == ("www.x.com", "books")
         assert grouper.class_by_id(cls.class_id) is cls
+
+
+class TestUrlClassMap:
+    def test_class_for_url_tracks_membership(self):
+        grouper = make_grouper()
+        assert grouper.class_for_url("www.a.com/x?id=1") is None
+        cls, created = classify(grouper, "www.a.com/x?id=1", doc("x", 1))
+        assert created
+        assert grouper.class_for_url("www.a.com/x?id=1") is cls
+        # A second member URL matched into the same class maps there too.
+        other, created = classify(grouper, "www.a.com/x?id=2", doc("x", 2))
+        assert other is cls and not created
+        assert grouper.class_for_url("www.a.com/x?id=2") is cls
+        assert grouper.class_for_url("www.a.com/never-seen") is None
+
+    def test_exact_delta_probe_receives_class(self):
+        """exact_delta probes get the candidate class (for its cached
+        index), not raw base bytes."""
+        probed: list = []
+
+        def exact_delta(cls, document):
+            probed.append(cls)
+            return 0  # always "identical": forces a match
+
+        grouper = make_grouper(GroupingConfig(use_light_estimator=False))
+        grouper._exact_delta = exact_delta
+        first, _ = classify(grouper, "www.a.com/x?id=1", doc("x", 1))
+        classify(grouper, "www.a.com/x?id=2", doc("x", 2))
+        assert probed and all(candidate is first for candidate in probed)
