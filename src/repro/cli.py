@@ -7,7 +7,8 @@ Usage::
     python -m repro.cli delta base.html current.html
     python -m repro.cli capacity
     python -m repro.cli serve --port 8707
-    python -m repro.cli loadgen trace.log --port 8707
+    python -m repro.cli proxy --upstream-port 8707 --port 8708
+    python -m repro.cli loadgen trace.log --via-proxy 127.0.0.1:8708
 
 The CLI drives the same public API the examples use; it exists so the
 system can be exercised from a shell (and from scripts) without writing
@@ -264,13 +265,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def cmd_proxy(args: argparse.Namespace) -> int:
+    from repro.proxy import ProxyHTTPServer
+
+    async def run() -> int:
+        server = ProxyHTTPServer(
+            args.upstream_host,
+            args.upstream_port,
+            host=args.host,
+            port=args.port,
+            capacity_bytes=args.capacity_mb * 1024 * 1024,
+            ttl=args.ttl if args.ttl > 0 else None,
+            max_connections=args.max_connections,
+            upstream_connections=args.upstream_connections,
+            request_timeout=args.request_timeout,
+        )
+        async with server:
+            host, port = server.address
+            print(
+                f"proxy listening on {host}:{port} "
+                f"(upstream={args.upstream_host}:{args.upstream_port}, "
+                f"cache={args.capacity_mb} MiB, "
+                f"ttl={args.ttl if args.ttl > 0 else 'off'})",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(
+                    NotImplementedError, ValueError, RuntimeError
+                ):
+                    loop.add_signal_handler(sig, stop.set)
+            serving = asyncio.ensure_future(server.serve_forever())
+            try:
+                while not stop.is_set():
+                    if (
+                        args.max_requests is not None
+                        and server.stats.requests >= args.max_requests
+                    ):
+                        break
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(stop.wait(), 0.2)
+            finally:
+                serving.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await serving
+            print(server.render(), flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad port in {value!r}") from exc
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve import LoadGenConfig, LoadGenerator
 
     trace = Trace.load(args.trace)
+    proxy_host, proxy_port = args.via_proxy or (None, None)
     config = LoadGenConfig(
         host=args.host,
         port=args.port,
+        proxy_host=proxy_host,
+        proxy_port=proxy_port,
         mode=args.mode,
         concurrency=args.concurrency,
         rate=args.rate,
@@ -384,10 +451,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables)")
     serve.set_defaults(func=cmd_serve)
 
+    proxy = sub.add_parser(
+        "proxy", help="run the live caching proxy tier in front of a server"
+    )
+    proxy.add_argument("--host", default="127.0.0.1")
+    proxy.add_argument("--port", type=int, default=8708,
+                       help="0 picks an ephemeral port")
+    proxy.add_argument("--upstream-host", default="127.0.0.1")
+    proxy.add_argument("--upstream-port", type=int, default=8707)
+    proxy.add_argument("--capacity-mb", type=int, default=64,
+                       help="cache byte budget, MiB")
+    proxy.add_argument("--ttl", type=float, default=300.0,
+                       help="seconds before a cached entry is revalidated "
+                            "upstream (0 disables expiry)")
+    proxy.add_argument("--max-connections", type=int, default=255)
+    proxy.add_argument("--upstream-connections", type=int, default=16,
+                       help="keep-alive connection pool size to the upstream")
+    proxy.add_argument("--request-timeout", type=float, default=30.0)
+    proxy.add_argument("--max-requests", type=int, default=None,
+                       help="exit after proxying this many requests")
+    proxy.set_defaults(func=cmd_proxy)
+
     loadgen = sub.add_parser("loadgen", help="replay a trace against a live server")
     loadgen.add_argument("trace")
     loadgen.add_argument("--host", default="127.0.0.1")
     loadgen.add_argument("--port", type=int, default=8707)
+    loadgen.add_argument("--via-proxy", type=_parse_hostport, default=None,
+                         metavar="HOST:PORT",
+                         help="connect through a live proxy tier instead of "
+                              "directly to the server")
     loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
     loadgen.add_argument("--concurrency", type=int, default=8)
     loadgen.add_argument("--rate", type=float, default=100.0,

@@ -4,5 +4,13 @@ from __future__ import annotations
 
 from repro.proxy.cache import CacheStats, LRUCache
 from repro.proxy.proxy import ProxyCache, ProxyStats
+from repro.proxy.server import HEADER_PROXY_CACHE, ProxyHTTPServer
 
-__all__ = ["CacheStats", "LRUCache", "ProxyCache", "ProxyStats"]
+__all__ = [
+    "CacheStats",
+    "HEADER_PROXY_CACHE",
+    "LRUCache",
+    "ProxyCache",
+    "ProxyHTTPServer",
+    "ProxyStats",
+]

@@ -5,10 +5,27 @@ marked cachable are stored — which, in this system, means base-files: the
 dynamic documents themselves remain uncachable, and *that* is why plain
 proxy caching tops out around 40 % hit rates (paper Section I) while the
 delta-server recovers the redundancy anyway.
+
+Semantics:
+
+* **byte-budgeted LRU** — entries are charged their body size; inserts
+  that push past ``capacity_bytes`` evict from the least-recent end.
+* **TTL expiry** — with a ``ttl``, entries older than it stop being
+  fresh: :meth:`lookup` reports them stale so the proxy can revalidate
+  against the upstream's body checksum (a confirmed revalidation calls
+  :meth:`refresh`), and :meth:`get` treats them as misses.
+* **full accounting** — every lookup lands in ``hits`` or ``misses``
+  (``hit_rate`` is over *all* lookups), rejected ``put``s are
+  distinguishable from accepted ones (``rejections``), and explicit
+  drops are counted (``invalidations``), so ``size_bytes`` and the
+  counters stay provably consistent under arbitrary op interleavings.
+* **thread-safe** — one lock around every operation; the live proxy's
+  event loop and any background sweepers share one instance.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -17,12 +34,31 @@ from repro.http.messages import Response
 
 @dataclass(slots=True)
 class CacheStats:
-    """Hit/miss accounting for one cache."""
+    """Hit/miss accounting for one cache.
+
+    Invariants (all enforced by tests):
+
+    * ``hits + misses`` counts every lookup, including expired entries
+      (counted in both ``expirations`` and ``misses``) and non-GET
+      bypasses recorded via :meth:`LRUCache.note_bypass`.
+    * live entries == ``insertions - replacements - evictions -
+      invalidations``.
+    * a ``put`` either increments ``insertions`` (returning ``True``) or
+      ``rejections`` (returning ``False``) — never neither.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
+    #: inserts that overwrote a live entry for the same URL
+    replacements: int = 0
     evictions: int = 0
+    #: entries dropped by ``invalidate``/``clear``
+    invalidations: int = 0
+    #: ``put`` calls refused (uncachable, non-200, or oversized response)
+    rejections: int = 0
+    #: lookups that found an entry past its TTL (also counted as misses)
+    expirations: int = 0
     hit_bytes: int = 0
 
     @property
@@ -31,63 +67,161 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class LRUCache:
-    """Byte-budgeted LRU cache of responses keyed by URL."""
+@dataclass(slots=True)
+class _Entry:
+    """One cached response plus the clock reading when it was stored."""
 
-    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024) -> None:
+    response: Response
+    stored_at: float
+
+
+class LRUCache:
+    """Thread-safe, byte-budgeted LRU cache of responses keyed by URL."""
+
+    def __init__(
+        self, capacity_bytes: int = 64 * 1024 * 1024, ttl: float | None = None
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be > 0, got {capacity_bytes}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0 (or None), got {ttl}")
         self.capacity_bytes = capacity_bytes
-        self._entries: OrderedDict[str, Response] = OrderedDict()
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
         self._size = 0
         self.stats = CacheStats()
 
     @property
     def size_bytes(self) -> int:
-        return self._size
+        with self._lock:
+            return self._size
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, url: str) -> bool:
-        return url in self._entries
+        with self._lock:
+            return url in self._entries
 
-    def get(self, url: str) -> Response | None:
-        """Look up ``url``, refreshing recency on hit."""
-        entry = self._entries.get(url)
-        if entry is None:
+    def _fresh(self, entry: _Entry, now: float | None) -> bool:
+        if self.ttl is None or now is None:
+            return True
+        return now - entry.stored_at <= self.ttl
+
+    def get(self, url: str, now: float | None = None) -> Response | None:
+        """Fresh-entry lookup, refreshing recency on hit.
+
+        An expired entry is a miss (but stays stored so :meth:`lookup`
+        callers can revalidate it instead of re-transferring the body).
+        """
+        with self._lock:
+            entry = self._entries.get(url)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if not self._fresh(entry, now):
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(url)
+            self.stats.hits += 1
+            self.stats.hit_bytes += entry.response.content_length
+            return entry.response
+
+    def lookup(self, url: str, now: float | None = None):
+        """Lookup that surfaces stale entries: ``(response, fresh)`` or ``None``.
+
+        A stale result is counted as an expiration *and* a miss (the
+        bytes cannot be served without an upstream round-trip); callers
+        that revalidate it successfully should call :meth:`refresh`.
+        """
+        with self._lock:
+            entry = self._entries.get(url)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if not self._fresh(entry, now):
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return entry.response, False
+            self._entries.move_to_end(url)
+            self.stats.hits += 1
+            self.stats.hit_bytes += entry.response.content_length
+            return entry.response, True
+
+    def note_bypass(self) -> None:
+        """Count a lookup that never consulted the store (non-GET traffic).
+
+        Keeps ``hit_rate`` honest: every request the proxy answers is in
+        the denominator, not just the GETs that were worth looking up.
+        """
+        with self._lock:
             self.stats.misses += 1
-            return None
-        self._entries.move_to_end(url)
-        self.stats.hits += 1
-        self.stats.hit_bytes += entry.content_length
-        return entry
 
-    def put(self, url: str, response: Response) -> bool:
-        """Store a cachable response; returns ``False`` if not cachable."""
-        if not response.cachable or response.status != 200:
-            return False
-        if response.content_length > self.capacity_bytes:
-            return False
-        if url in self._entries:
-            self._size -= self._entries.pop(url).content_length
-        self._entries[url] = response
-        self._size += response.content_length
-        self.stats.insertions += 1
-        while self._size > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            self._size -= evicted.content_length
-            self.stats.evictions += 1
-        return True
+    def put(self, url: str, response: Response, now: float = 0.0) -> bool:
+        """Store a cachable response; ``False`` (a counted rejection) otherwise."""
+        with self._lock:
+            if (
+                not response.cachable
+                or response.status != 200
+                or response.content_length > self.capacity_bytes
+            ):
+                self.stats.rejections += 1
+                return False
+            previous = self._entries.pop(url, None)
+            if previous is not None:
+                self._size -= previous.response.content_length
+                self.stats.replacements += 1
+            self._entries[url] = _Entry(response, now)
+            self._size += response.content_length
+            self.stats.insertions += 1
+            while self._size > self.capacity_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._size -= evicted.response.content_length
+                self.stats.evictions += 1
+            return True
+
+    def refresh(self, url: str, now: float) -> bool:
+        """Restart an entry's TTL after a successful upstream revalidation."""
+        with self._lock:
+            entry = self._entries.get(url)
+            if entry is None:
+                return False
+            entry.stored_at = now
+            self._entries.move_to_end(url)
+            return True
 
     def invalidate(self, url: str) -> bool:
         """Drop one entry; returns whether it existed."""
-        entry = self._entries.pop(url, None)
-        if entry is None:
-            return False
-        self._size -= entry.content_length
-        return True
+        with self._lock:
+            entry = self._entries.pop(url, None)
+            if entry is None:
+                return False
+            self._size -= entry.response.content_length
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._size = 0
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+            self._size = 0
+
+    def check_consistency(self) -> None:
+        """Assert the size/counter invariants (test and debug hook)."""
+        with self._lock:
+            actual = sum(
+                entry.response.content_length for entry in self._entries.values()
+            )
+            assert self._size == actual, (self._size, actual)
+            assert self._size <= self.capacity_bytes
+            stats = self.stats
+            live = (
+                stats.insertions
+                - stats.replacements
+                - stats.evictions
+                - stats.invalidations
+            )
+            assert live == len(self._entries), (live, len(self._entries))

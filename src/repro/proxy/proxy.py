@@ -5,6 +5,10 @@ is marked cachable (base-files) and forwards everything else.  Its value in
 the class-based scheme is that *one* upstream base-file transfer serves
 every client behind the proxy — "many different users will download the
 same base-files from a proxy-cache" (Section VI-B).
+
+This is the synchronous simulation object (used by ``repro.simulation``
+and the baselines); :mod:`repro.proxy.server` runs the same cache
+semantics as a live asyncio tier in front of a real delta-server.
 """
 
 from __future__ import annotations
@@ -20,16 +24,33 @@ UpstreamFn = Callable[[Request, float], Response]
 
 @dataclass(slots=True)
 class ProxyStats:
-    """Traffic accounting on both sides of the proxy."""
+    """Traffic accounting on both sides of the proxy.
+
+    ``upstream_bytes``/``downstream_bytes`` count response *bodies* (the
+    conservation invariant ``downstream_bytes >= upstream_bytes`` holds
+    whenever the cache produced at least one hit); the ``*_wire_bytes``
+    fields — used by the live tier — count actual bytes on each wire.
+    """
 
     requests: int = 0
+    #: non-GET requests forwarded without consulting the cache
+    bypassed: int = 0
     upstream_requests: int = 0
     upstream_bytes: int = 0
     downstream_bytes: int = 0
+    #: live tier only: wire-level accounting for the byte-savings math
+    upstream_wire_bytes: int = 0
+    downstream_wire_bytes: int = 0
+    #: conditional (If-None-Match) refreshes of TTL-expired entries …
+    revalidations: int = 0
+    #: … and how many came back 304 Not Modified (bytes saved)
+    revalidated: int = 0
+    #: upstream round-trips that failed (connect/protocol errors)
+    upstream_errors: int = 0
 
 
 class ProxyCache:
-    """A caching forward proxy."""
+    """A caching forward proxy (synchronous simulation form)."""
 
     def __init__(
         self, upstream: UpstreamFn, capacity_bytes: int = 64 * 1024 * 1024
@@ -39,16 +60,28 @@ class ProxyCache:
         self.stats = ProxyStats()
 
     def handle(self, request: Request, now: float) -> Response:
-        """Serve from cache when possible, else forward upstream."""
+        """Serve from cache when possible, else forward upstream.
+
+        Only GET responses are cachable — a 200 to a POST is a method
+        side-effect's answer, not the resource's representation, and must
+        never be stored under the URL and replayed to later GETs.  Every
+        lookup path lands in the cache's hit/miss accounting: non-GETs
+        count as bypass misses so ``hit_rate`` reflects all traffic.
+        """
         self.stats.requests += 1
-        if request.method == "GET":
-            cached = self.cache.get(request.url)
+        is_get = request.method == "GET"
+        if is_get:
+            cached = self.cache.get(request.url, now)
             if cached is not None:
                 self.stats.downstream_bytes += cached.content_length
                 return cached
+        else:
+            self.stats.bypassed += 1
+            self.cache.note_bypass()
         response = self._upstream(request, now)
         self.stats.upstream_requests += 1
         self.stats.upstream_bytes += response.content_length
         self.stats.downstream_bytes += response.content_length
-        self.cache.put(request.url, response)
+        if is_get:
+            self.cache.put(request.url, response, now)
         return response

@@ -52,6 +52,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 REASONS = {
     200: "OK",
     204: "No Content",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     408: "Request Timeout",

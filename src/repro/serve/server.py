@@ -54,6 +54,7 @@ from repro.core.config import DeltaServerConfig
 from repro.core.delta_server import DeltaServer
 from repro.http.messages import (
     HEADER_DEGRADED,
+    HEADER_IF_NONE_MATCH,
     HEADER_TRACE_ID,
     Request,
     Response,
@@ -338,7 +339,20 @@ class DeltaHTTPServer:
             # Deltas carry their target checksum in the wire payload; every
             # other body gets an integrity tag so clients can verify
             # byte-for-byte what they received.
-            response.headers.set(HEADER_BODY_DIGEST, body_digest(response.body))
+            digest = body_digest(response.body)
+            response.headers.set(HEADER_BODY_DIGEST, digest)
+            if (
+                response.status == 200
+                and response.cachable
+                and request.headers.get(HEADER_IF_NONE_MATCH) == digest
+            ):
+                # Checksum revalidation: the caller (a proxy-cache with a
+                # TTL-expired copy) already holds these exact bytes.  304
+                # keeps the identifying headers — digest, base-file ref,
+                # cachability markers — but sends no body, so a base-file
+                # refresh costs headers instead of the full transfer.
+                not_modified = Response(status=304, headers=response.headers.copy())
+                return not_modified
         return response
 
     def _health_response(self) -> Response:

@@ -39,8 +39,15 @@ class ZipfSampler:
         return self._cdf[rank] - low
 
     def sample(self) -> int:
-        """One rank draw."""
-        return bisect.bisect_left(self._cdf, self._rng.random())
+        """One rank draw.
+
+        Rank ``i`` owns the half-open interval ``[cdf[i-1], cdf[i])``,
+        so a draw exactly on a CDF boundary belongs to the *upper* rank:
+        ``bisect_right`` (``bisect_left`` would hand boundary draws to
+        the lower rank, inflating popular ranks by the boundary mass).
+        ``random()`` is in ``[0, 1)`` so the result is always ``< n``.
+        """
+        return bisect.bisect_right(self._cdf, self._rng.random())
 
     def sample_many(self, count: int) -> list[int]:
         """``count`` independent rank draws."""

@@ -93,7 +93,9 @@ class TestPrivacyEndToEnd:
                     )
         # proxy cache holds only base-files, which are anonymized
         for url, entry in simulation.proxy.cache._entries.items():
-            assert not find_card_numbers(entry.body), f"leak via proxy: {url}"
+            assert not find_card_numbers(entry.response.body), (
+                f"leak via proxy: {url}"
+            )
 
     def test_anonymization_disabled_leaks(self):
         """Negative control: with anonymization off, the owner's private

@@ -1,4 +1,7 @@
-"""Tests for the LRU cache substrate."""
+"""Tests for the LRU cache substrate: accounting, TTL, and thread-safety."""
+
+import random
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -21,26 +24,41 @@ class TestBasics:
         hit = cache.get("u1")
         assert hit is not None and hit.body == b"abc"
         assert cache.stats.hits == 1
+        assert cache.stats.hit_bytes == 3
 
     def test_miss(self):
         cache = LRUCache(1024)
         assert cache.get("nope") is None
         assert cache.stats.misses == 1
 
+    def test_hit_rate_over_all_lookups(self):
+        cache = LRUCache(1024)
+        cache.put("u", cachable(b"x"))
+        cache.get("u")
+        cache.get("absent")
+        cache.note_bypass()  # non-GET traffic still lands in the denominator
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
     def test_uncachable_rejected(self):
         cache = LRUCache(1024)
         assert not cache.put("u", Response(status=200, body=b"x"))
         assert "u" not in cache
+        assert cache.stats.rejections == 1
+        assert cache.stats.insertions == 0
 
     def test_non_200_rejected(self):
         cache = LRUCache(1024)
         response = Response(status=404, body=b"x")
         response.cachable = True
         assert not cache.put("u", response)
+        assert cache.stats.rejections == 1
 
     def test_oversized_rejected(self):
         cache = LRUCache(10)
         assert not cache.put("u", cachable(b"x" * 100))
+        assert cache.stats.rejections == 1
 
     def test_replace_updates_size(self):
         cache = LRUCache(1024)
@@ -48,25 +66,74 @@ class TestBasics:
         cache.put("u", cachable(b"b" * 50))
         assert cache.size_bytes == 50
         assert len(cache) == 1
+        assert cache.stats.insertions == 2
+        assert cache.stats.replacements == 1
+        cache.check_consistency()
 
-    def test_invalidate(self):
+    def test_invalidate_counts_and_resizes(self):
         cache = LRUCache(1024)
         cache.put("u", cachable(b"abc"))
         assert cache.invalidate("u")
-        assert not cache.invalidate("u")
+        assert not cache.invalidate("u")  # absent: not an invalidation
         assert cache.size_bytes == 0
+        assert cache.stats.invalidations == 1
+        cache.check_consistency()
 
-    def test_clear(self):
+    def test_clear_counts_every_entry(self):
         cache = LRUCache(1024)
         cache.put("a", cachable(b"1"))
         cache.put("b", cachable(b"2"))
         cache.clear()
         assert len(cache) == 0
         assert cache.size_bytes == 0
+        assert cache.stats.invalidations == 2
+        cache.check_consistency()
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(100, ttl=0)
+
+
+class TestTTL:
+    def test_fresh_within_ttl(self):
+        cache = LRUCache(1024, ttl=10.0)
+        cache.put("u", cachable(b"abc"), now=100.0)
+        assert cache.get("u", now=110.0) is not None  # boundary is fresh
+        assert cache.stats.expirations == 0
+
+    def test_expired_get_is_a_miss(self):
+        cache = LRUCache(1024, ttl=10.0)
+        cache.put("u", cachable(b"abc"), now=100.0)
+        assert cache.get("u", now=110.1) is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert "u" in cache  # kept for revalidation
+
+    def test_lookup_surfaces_stale_entries(self):
+        cache = LRUCache(1024, ttl=10.0)
+        cache.put("u", cachable(b"abc"), now=100.0)
+        found = cache.lookup("u", now=120.0)
+        assert found is not None
+        response, fresh = found
+        assert response.body == b"abc" and not fresh
+        assert cache.stats.expirations == 1 and cache.stats.misses == 1
+
+    def test_refresh_restores_freshness(self):
+        cache = LRUCache(1024, ttl=10.0)
+        cache.put("u", cachable(b"abc"), now=100.0)
+        _, fresh = cache.lookup("u", now=120.0)
+        assert not fresh
+        assert cache.refresh("u", now=120.0)
+        hit = cache.get("u", now=125.0)
+        assert hit is not None and hit.body == b"abc"
+        assert not cache.refresh("absent", now=0.0)
+
+    def test_no_ttl_never_expires(self):
+        cache = LRUCache(1024)
+        cache.put("u", cachable(b"abc"), now=0.0)
+        assert cache.get("u", now=1e12) is not None
 
 
 class TestEviction:
@@ -80,34 +147,92 @@ class TestEviction:
         assert "a" in cache
         assert "b" not in cache
         assert cache.stats.evictions == 1
+        cache.check_consistency()
 
     def test_size_never_exceeds_capacity(self):
         cache = LRUCache(100)
         for i in range(50):
             cache.put(f"u{i}", cachable(b"x" * 30))
             assert cache.size_bytes <= 100
+        cache.check_consistency()
 
 
 @settings(max_examples=50, deadline=None)
 @given(
     ops=st.lists(
-        st.tuples(st.sampled_from("pgi"), st.integers(0, 9), st.integers(1, 40)),
+        st.tuples(st.sampled_from("pgilrc"), st.integers(0, 9), st.integers(1, 40)),
         max_size=60,
     )
 )
 def test_cache_invariants(ops):
-    """Size accounting and capacity hold under arbitrary op sequences."""
-    cache = LRUCache(200)
+    """Size and counter accounting hold under arbitrary op sequences.
+
+    ``check_consistency`` asserts ``size_bytes`` equals the sum of stored
+    entry sizes, stays under capacity, and that live entries equal
+    ``insertions - replacements - evictions - invalidations``.
+    """
+    cache = LRUCache(200, ttl=50.0)
+    clock = 0.0
     for op, key_i, size in ops:
+        clock += size  # monotone clock; large steps exercise expiry
         key = f"k{key_i}"
         if op == "p":
-            cache.put(key, cachable(b"x" * size))
+            cache.put(key, cachable(b"x" * size), now=clock)
         elif op == "g":
-            cache.get(key)
-        else:
+            cache.get(key, now=clock)
+        elif op == "i":
             cache.invalidate(key)
-        assert cache.size_bytes <= 200
-        assert cache.size_bytes == sum(
-            entry.content_length for entry in cache._entries.values()
-        )
-        assert len(cache) == len(cache._entries)
+        elif op == "l":
+            cache.lookup(key, now=clock)
+        elif op == "r":
+            cache.refresh(key, now=clock)
+        else:
+            cache.clear()
+        cache.check_consistency()
+    stats = cache.stats
+    assert stats.hits + stats.misses >= stats.hits  # counters never negative
+    assert stats.expirations <= stats.misses
+
+
+def test_threaded_storm_keeps_accounting_consistent():
+    """Concurrent get/put/invalidate from many threads: no torn state.
+
+    The capacity (600 B) is far below the worst-case working set
+    (16 keys x 120 B), so the storm constantly evicts; every thread
+    also invalidates, expiring entries via a racing monotone clock.
+    """
+    cache = LRUCache(600, ttl=5.0)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(8)
+
+    def storm(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            barrier.wait()
+            for step in range(400):
+                key = f"k{rng.randrange(16)}"
+                now = float(step)
+                op = rng.random()
+                if op < 0.5:
+                    cache.put(key, cachable(b"x" * rng.randrange(1, 120)), now=now)
+                elif op < 0.8:
+                    cache.get(key, now=now)
+                elif op < 0.9:
+                    cache.lookup(key, now=now)
+                elif op < 0.95:
+                    cache.invalidate(key)
+                else:
+                    cache.refresh(key, now=now)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=storm, args=(seed,)) for seed in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    cache.check_consistency()
+    stats = cache.stats
+    assert stats.insertions > 0 and stats.evictions > 0
+    assert stats.hits + stats.misses > 0

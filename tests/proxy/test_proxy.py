@@ -59,3 +59,39 @@ class TestProxy:
         proxy.handle(Request(url="base"), 0.0)
         proxy.handle(Request(url="base", method="POST"), 1.0)
         assert len(calls) == 2
+
+    def test_non_get_response_is_never_stored(self):
+        """A cachable 200 to a POST must not be replayed to later GETs."""
+        upstream, calls = upstream_factory({"u": cachable(b"side-effect answer")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="u", method="POST"), 0.0)
+        assert "u" not in proxy.cache
+        proxy.handle(Request(url="u"), 1.0)  # GET still goes upstream
+        assert calls == ["u", "u"]
+        assert proxy.cache.stats.hits == 0
+
+    def test_non_get_counts_as_lookup_miss(self):
+        """Bypassed traffic lands in the hit-rate denominator."""
+        upstream, _ = upstream_factory({"base": cachable(b"bb")})
+        proxy = ProxyCache(upstream)
+        proxy.handle(Request(url="base"), 0.0)  # miss, stored
+        proxy.handle(Request(url="base"), 1.0)  # hit
+        proxy.handle(Request(url="base", method="POST"), 2.0)  # bypass
+        stats = proxy.cache.stats
+        assert proxy.stats.bypassed == 1
+        assert (stats.hits, stats.misses) == (1, 2)
+        assert stats.hit_rate == 1 / 3
+
+    def test_byte_conservation_with_hits(self):
+        """Hits serve bytes without upstream cost: downstream >= upstream."""
+        upstream, _ = upstream_factory(
+            {"base": cachable(b"x" * 100), "doc": Response(status=200, body=b"y" * 40)}
+        )
+        proxy = ProxyCache(upstream)
+        for now, url in enumerate(["base", "base", "base", "doc", "doc"]):
+            proxy.handle(Request(url=url), float(now))
+        assert proxy.stats.upstream_bytes == 100 + 2 * 40
+        assert proxy.stats.downstream_bytes == 3 * 100 + 2 * 40
+        assert proxy.stats.downstream_bytes >= proxy.stats.upstream_bytes
+        saved = proxy.stats.downstream_bytes - proxy.stats.upstream_bytes
+        assert saved == proxy.cache.stats.hit_bytes

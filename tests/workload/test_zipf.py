@@ -1,5 +1,6 @@
 """Tests for Zipf-like sampling."""
 
+import math
 import random
 from collections import Counter
 
@@ -54,6 +55,38 @@ class TestZipfSampler:
         a = ZipfSampler(20, rng=random.Random(9)).sample_many(50)
         b = ZipfSampler(20, rng=random.Random(9)).sample_many(50)
         assert a == b
+
+    def test_boundary_draws_belong_to_the_upper_rank(self):
+        """Regression: a draw exactly on cdf[i] is rank i+1, not rank i.
+
+        Rank i owns the half-open interval [cdf[i-1], cdf[i]).  With
+        ``bisect_left`` a draw landing exactly on a CDF boundary was
+        assigned to the lower rank, silently inflating popular ranks by
+        the boundary mass.  A stub RNG pins the draw to each boundary.
+        """
+
+        class StubRandom(random.Random):
+            def __init__(self, value: float) -> None:
+                super().__init__(0)
+                self.value = value
+
+            def random(self) -> float:
+                return self.value
+
+        sampler = ZipfSampler(4, alpha=0.0)  # uniform: cdf = .25, .5, .75, 1
+        for rank in range(3):
+            boundary = sampler._cdf[rank]
+            sampler._rng = StubRandom(boundary)
+            assert sampler.sample() == rank + 1, (
+                f"draw == cdf[{rank}] must select rank {rank + 1}"
+            )
+        # Off-boundary draws stay with the rank owning their interval.
+        sampler._rng = StubRandom(0.2499999)
+        assert sampler.sample() == 0
+        # random() < 1.0 always, so the top boundary is unreachable; the
+        # largest representable draw below 1.0 picks the last rank.
+        sampler._rng = StubRandom(math.nextafter(1.0, 0.0))
+        assert sampler.sample() == 3
 
 
 @settings(max_examples=30, deadline=None)
