@@ -199,6 +199,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             resilience=resilience,
             executor_kind=args.executor,
             executor_workers=args.executor_workers,
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every,
             host=args.host,
             port=args.port,
             max_connections=args.max_connections,
@@ -211,6 +213,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"(mode={args.mode}, slots={args.max_connections})",
                 flush=True,
             )
+            if server.engine is not None and args.state_dir:
+                snap = server.engine.store_hooks.snapshot() or {}
+                print(
+                    f"persistent store: {args.state_dir} "
+                    f"(warm_start={server.engine.rehydrated_classes > 0}, "
+                    f"rehydrated={server.engine.rehydrated_classes}, "
+                    f"recovery_ms={snap.get('recovery_ms', 0)})",
+                    flush=True,
+                )
             if fault_plan is not None:
                 print(f"fault injection: {fault_plan.describe()}", flush=True)
             stop = asyncio.Event()
@@ -263,6 +274,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(run())
+
+
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Dump a state directory's pack/journal contents as JSON (read-only)."""
+    import json as _json
+
+    from repro.store import inspect_state_dir
+
+    if not Path(args.state_dir).is_dir():
+        print(f"store inspect: no state directory at {args.state_dir}", file=sys.stderr)
+        return 1
+    dump = inspect_state_dir(args.state_dir)
+    print(_json.dumps(dump, indent=None if args.compact else 2, sort_keys=True))
+    return 0
 
 
 def cmd_proxy(args: argparse.Namespace) -> int:
@@ -449,7 +474,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-interval", type=float, default=0.0,
                        help="log a one-line stats snapshot every N seconds "
                             "(0 disables)")
+    serve.add_argument("--state-dir", default=None,
+                       help="persist class state and base-file version chains "
+                            "here (pack/journal store); restarts warm-start "
+                            "from it instead of re-fetching origins")
+    serve.add_argument("--snapshot-every", type=int, default=None,
+                       metavar="K",
+                       help="store a full base-file snapshot every K versions "
+                            "(delta chain length bound; default 8)")
     serve.set_defaults(func=cmd_serve)
+
+    store = sub.add_parser(
+        "store", help="inspect the persistent pack/journal store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser(
+        "inspect", help="dump a state directory's pack/journal contents as JSON"
+    )
+    inspect.add_argument("state_dir", help="state directory (serve --state-dir)")
+    inspect.add_argument("--compact", action="store_true",
+                         help="one-line JSON instead of indented output")
+    inspect.set_defaults(func=cmd_store_inspect)
 
     proxy = sub.add_parser(
         "proxy", help="run the live caching proxy tier in front of a server"

@@ -255,6 +255,37 @@ class DocumentClass:
         self._checksum = None
         return freed
 
+    def restore_base(self, document: bytes, version: int, doc_checksum: int) -> None:
+        """Rehydrate this class's base-file from the persistent store.
+
+        The stored document is the *distributable* base (anonymization ran
+        before it was ever committed), so it doubles as the raw base — no
+        anonymization window reopens on restart.  The version counter
+        resumes where the previous process stopped, so clients holding
+        pre-restart base-files keep getting deltas.  The previous
+        generation is not persisted; clients holding it get one full
+        response and re-fetch.  Caller holds ``self.lock`` (or owns the
+        class exclusively, as during warm restart).
+        """
+        self._raw_base = document
+        self._distributable = document
+        self.version = version
+        self._checksum = doc_checksum
+        self._pending = None
+        self.quarantined = False
+        self._previous = None
+        self._previous_version = None
+        self._previous_index = None
+        self._previous_checksum = None
+        self._full_index = None
+        self._light_index = None
+        self._raw_full_index = None
+
+    @property
+    def distributable_checksum(self) -> int | None:
+        """Promotion-time adler32 of the current distributable base."""
+        return self._checksum
+
     def full_index(self) -> BaseIndex:
         """Cached full-differ index over the distributable base."""
         if not self.can_serve_deltas:

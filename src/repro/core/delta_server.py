@@ -91,6 +91,7 @@ from repro.http.messages import (
 )
 from repro.metrics.registry import MetricsRegistry
 from repro.resilience.policy import OriginUnavailable
+from repro.store.hooks import StoreHooks
 from repro.url.rules import RuleBook
 
 BASE_FILE_SEGMENT = "__delta_base__"
@@ -189,6 +190,7 @@ class DeltaServer:
         rulebook: RuleBook | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        store_hooks: StoreHooks | None = None,
     ) -> None:
         self.config = config or DeltaServerConfig()
         self._origin_fetch = origin_fetch
@@ -196,6 +198,10 @@ class DeltaServer:
         #: ``engine_stage_seconds{stage=...}`` histograms (shared with the
         #: serving layer when wired through ``build_server``).
         self.metrics = metrics or MetricsRegistry()
+        #: persistence glue: lifecycle events flow through these hooks to
+        #: the pack/journal store; the default hooks are no-ops, so the
+        #: engine is unchanged when persistence is off.
+        self.store_hooks = store_hooks or StoreHooks()
         # ``serialized`` restores the seed engine's single-writer
         # discipline: one global lock held across the whole pipeline,
         # origin fetch included.  The sharded mode (default) never takes
@@ -213,7 +219,9 @@ class DeltaServer:
         self._class_ids = itertools.count(1)
         self._controllers: dict[str, RebaseController] = {}
         self._counters = StripedCounters(STAT_FIELDS)
-        self.storage = StorageManager(self.config.storage_budget_bytes)
+        self.storage = StorageManager(
+            self.config.storage_budget_bytes, store_hooks=self.store_hooks
+        )
         self.grouper = Grouper(
             config=self.config.grouping,
             rulebook=rulebook or RuleBook(),
@@ -221,7 +229,11 @@ class DeltaServer:
             class_factory=self._new_class,
             rng=self._rng,
             exact_delta=self._delta_size,
+            member_hook=self.store_hooks.member_added,
         )
+        # Warm restart: rebuild classes, memberships, and latest base-file
+        # versions from the persistent store (no-op for the default hooks).
+        self.rehydrated_classes = self.store_hooks.rehydrate(self)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -232,6 +244,11 @@ class DeltaServer:
 
     def _new_class(self, server: str, hint: str) -> DocumentClass:
         class_id = f"cls{next(self._class_ids)}"
+        cls = self._build_class(class_id, server, hint)
+        self.store_hooks.class_created(class_id, server, hint)
+        return cls
+
+    def _build_class(self, class_id: str, server: str, hint: str) -> DocumentClass:
         policy = RandomizedPolicy(
             self.config.base_file, self._light_size, self._rng
         )
@@ -246,6 +263,35 @@ class DeltaServer:
         )
         self._controllers[class_id] = RebaseController(self.config.base_file)
         return cls
+
+    # -- warm restart -----------------------------------------------------------
+
+    def restore_class(
+        self, class_id: str, server: str, hint: str
+    ) -> DocumentClass | None:
+        """Recreate a persisted class under its original id (warm restart).
+
+        Builds the class and its rebase controller without consuming a
+        fresh id or re-journaling its creation; the caller (the store's
+        rehydration path) registers it with the grouper and restores the
+        base.  Returns ``None`` if the id is already taken — a duplicate
+        journal record, not a reason to fail the whole restart.
+        """
+        if class_id in self._controllers:
+            return None
+        return self._build_class(class_id, server, hint)
+
+    def seed_class_counter(self, class_ids: "Iterator[str] | list[str]") -> None:
+        """Advance the class-id counter past every restored id, so new
+        classes created after a warm restart never collide with persisted
+        ones (``cls<N>`` ids are assigned from a monotone counter)."""
+        highest = 0
+        for class_id in class_ids:
+            digits = "".join(ch for ch in class_id if ch.isdigit())
+            if digits:
+                highest = max(highest, int(digits))
+        if highest:
+            self._class_ids = itertools.count(highest + 1)
 
     def _delta_size(self, cls: DocumentClass, document: bytes) -> int | None:
         """Exact-differ probe for the grouper, against the cached index."""
@@ -363,6 +409,7 @@ class DeltaServer:
     ) -> None:
         """Feed one fresh origin document into the class, under its lock."""
         with self._class_locked(cls, timings):
+            version_before = cls.version
             cls.policy.observe(document, request.user_id)
             if cls.raw_base is None:
                 # The class is born with this response as its base-file
@@ -378,6 +425,28 @@ class DeltaServer:
             else:
                 cls.feed(document, request.user_id)
                 self._maybe_rebase(cls, document, request.user_id, now)
+            if cls.version != version_before and cls.can_serve_deltas:
+                # A promotion happened (adoption, anonymization completion,
+                # or rebase): durably commit the new distributable version.
+                # Still under the class lock, so the committed bytes are
+                # exactly the version being published (class lock → store
+                # lock is the sanctioned ordering).
+                persistent = self.store_hooks.store is not None
+                started = perf_counter()
+                assert cls.distributable_base is not None
+                assert cls.distributable_checksum is not None
+                self.store_hooks.base_committed(
+                    cls.class_id,
+                    cls.version,
+                    cls.distributable_base,
+                    cls.distributable_checksum,
+                )
+                if persistent:
+                    timings["store_commit"] = (
+                        timings.get("store_commit", 0.0)
+                        + perf_counter()
+                        - started
+                    )
 
     def class_of(self, url: str) -> DocumentClass | None:
         """The class a URL has been grouped into, if any (diagnostics).
@@ -399,6 +468,9 @@ class DeltaServer:
         stats = self.stats
         return {
             "classes": self.grouper.class_count(),
+            "warm_start": self.rehydrated_classes > 0,
+            "rehydrated_classes": self.rehydrated_classes,
+            "store": self.store_hooks.snapshot(),
             "quarantined": quarantined,
             "quarantines": stats.quarantines,
             "quarantine_recoveries": stats.quarantine_recoveries,
@@ -409,6 +481,10 @@ class DeltaServer:
             "commit_conflicts": stats.commit_conflicts,
             "commit_fallbacks": stats.commit_fallbacks,
         }
+
+    def close(self) -> None:
+        """Flush and close the persistent store (no-op without one)."""
+        self.store_hooks.close()
 
     # -- internals ---------------------------------------------------------------
 
@@ -450,6 +526,9 @@ class DeltaServer:
             self._counters.inc("encode_failures")
         with self._health_lock:
             self._quarantined.add(cls.class_id)
+        # Class lock → store lock: the persisted chain becomes garbage so
+        # a restart cannot rehydrate the suspect bytes.
+        self.store_hooks.class_quarantined(cls.class_id, cause)
 
     def _maybe_rebase(
         self, cls: DocumentClass, document: bytes, user_id: str | None, now: float

@@ -87,6 +87,7 @@ class Grouper:
         class_factory: Callable[[str, str], DocumentClass],
         rng: random.Random,
         exact_delta: ExactDelta | None = None,
+        member_hook: Callable[[str, str], None] | None = None,
     ) -> None:
         self._config = config
         self._rulebook = rulebook
@@ -94,6 +95,9 @@ class Grouper:
         self._class_factory = class_factory
         self._rng = rng
         self._exact_delta = exact_delta
+        #: persistence hook: fired once per (class_id, url) adoption so the
+        #: store can journal membership; never fired during warm restart.
+        self._member_hook = member_hook
         self.stats = GroupingStats()
 
         self._classes: dict[str, DocumentClass] = {}
@@ -239,6 +243,27 @@ class Grouper:
             cls.stats.hits += 1
         with self._registry_lock:
             self._url_to_class[url] = cls.class_id
+        if self._member_hook is not None:
+            self._member_hook(cls.class_id, url)
+
+    def restore_class(self, cls: DocumentClass, members: list[str]) -> None:
+        """Register a rehydrated class and its membership (warm restart).
+
+        Everything is already on disk, so the member hook is *not* fired —
+        re-journaling the membership on every restart would grow the
+        journal unboundedly.  Called before the engine serves traffic, but
+        takes the normal locks anyway so it is safe regardless.
+        """
+        with self._registry_lock:
+            self._classes[cls.class_id] = cls
+            self._by_server.setdefault(cls.server, []).append(cls)
+            self._by_key.setdefault(cls.key, []).append(cls)
+        with cls.lock:
+            for url in members:
+                cls.add_member(url)
+        with self._registry_lock:
+            for url in members:
+                self._url_to_class[url] = cls.class_id
 
     def _search(self, parts: URLParts, document: bytes) -> DocumentClass | None:
         eligible = self._eligible(parts)

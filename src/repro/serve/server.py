@@ -48,6 +48,7 @@ import json
 import logging
 import random
 import time
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import DeltaServerConfig
@@ -197,6 +198,9 @@ class DeltaHTTPServer:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         self._executor.shutdown()
+        if self.engine is not None:
+            # Flush + close the persistent store (no-op without one).
+            self.engine.close()
 
     async def __aenter__(self) -> "DeltaHTTPServer":
         await self.start()
@@ -437,6 +441,37 @@ class DeltaHTTPServer:
                 extra.append(f"{full} {value}")
             extra.append("# TYPE repro_engine_classes gauge")
             extra.append(f"repro_engine_classes {len(self.engine.grouper.classes)}")
+            store = self.engine.store_hooks.snapshot()
+            if store is not None:
+                store_counters = [
+                    ("journal_records", store["journal_records"]),
+                    ("commits", store["commits"]),
+                    ("full_records", store["full_records"]),
+                    ("delta_records", store["delta_records"]),
+                    ("history_evictions", store["history_evictions"]),
+                    ("compactions", store["compactions"]),
+                ]
+                for name, value in store_counters:
+                    full = f"repro_store_{name}_total"
+                    extra.append(f"# TYPE {full} counter")
+                    extra.append(f"{full} {value}")
+                store_gauges = [
+                    ("pack_bytes", store["pack_bytes"]),
+                    ("live_pack_bytes", store["live_pack_bytes"]),
+                    ("garbage_bytes", store["garbage_bytes"]),
+                    ("journal_bytes", store["journal_bytes"]),
+                    ("classes", store["classes"]),
+                    ("max_chain_length", store["max_chain_length"]),
+                    ("snapshot_every", store["snapshot_every"]),
+                    ("generation", store["generation"]),
+                    ("recovery_ms", store["recovery_ms"]),
+                    ("warm_start", int(store["warm_start"])),
+                    ("rehydrated_classes", store["rehydrated_classes"]),
+                ]
+                for name, value in store_gauges:
+                    full = f"repro_store_{name}"
+                    extra.append(f"# TYPE {full} gauge")
+                    extra.append(f"{full} {value}")
         gw = self.gateway.stats
         gateway_counters = [
             ("fetches", gw.fetches),
@@ -497,6 +532,8 @@ def build_server(
     resilience: ResilienceConfig | None = None,
     executor_kind: str = "thread",
     executor_workers: int | None = None,
+    state_dir: str | Path | None = None,
+    snapshot_every: int | None = None,
     **server_kwargs: object,
 ) -> DeltaHTTPServer:
     """Assemble the full live stack for a set of synthetic sites.
@@ -507,6 +544,11 @@ def build_server(
     through a :class:`ResilientOrigin` (retries, backoff, circuit breaker,
     degradation) by default; pass ``ResilienceConfig(enabled=False)`` for
     the raw gateway.
+
+    ``state_dir`` switches on the persistent pack/journal store: class
+    state and base-file version chains survive restarts (warm start —
+    recovery runs inside this call), with full snapshots every
+    ``snapshot_every`` versions.  Only meaningful in ``delta`` mode.
     """
     from repro.url.rules import RuleBook
 
@@ -535,7 +577,24 @@ def build_server(
         rulebook = RuleBook()
         for site in site_list:
             rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
-        engine = DeltaServer(origin_fetch, config, rulebook, metrics=registry)
+        store_hooks = None
+        if state_dir is not None:
+            from repro.store import (
+                DEFAULT_SNAPSHOT_EVERY,
+                PersistentStoreHooks,
+                Store,
+            )
+
+            store = Store.open(
+                state_dir,
+                snapshot_every=snapshot_every or DEFAULT_SNAPSHOT_EVERY,
+                metrics=registry,
+            )
+            store_hooks = PersistentStoreHooks(store)
+        engine = DeltaServer(
+            origin_fetch, config, rulebook, metrics=registry,
+            store_hooks=store_hooks,
+        )
     executor = DeltaExecutor(executor_kind, max_workers=executor_workers)
     return DeltaHTTPServer(
         gateway,

@@ -1,0 +1,126 @@
+"""On-disk record framing shared by the pack and the journal.
+
+Both store files are append-only sequences of self-checking frames after
+a small fixed header::
+
+    header   magic (4 bytes) | u32 format version
+    frame    u32 payload length | u32 crc32(payload) | payload bytes
+
+The frame is the unit of crash-atomicity: a crash (or a fault-injection
+test) can tear a file at any byte offset, and recovery must be able to
+identify the longest *valid prefix* of frames and discard everything
+after it.  :func:`scan_frames` implements exactly that contract — it
+never raises on torn or corrupted input, it just stops, reporting where
+the valid prefix ends so the caller can truncate.
+
+The CRC is over the payload only (not the length word); a corrupted
+length field is caught either by the sanity cap or by the CRC of the
+mis-framed payload it implies — both end the valid prefix, which is the
+correct, conservative answer.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+#: ``(payload_length, payload_crc32)`` frame header
+FRAME_HEADER = struct.Struct(">II")
+
+#: ``magic | format version`` file header
+FILE_HEADER = struct.Struct(">4sI")
+
+FORMAT_VERSION = 1
+
+#: frames beyond this are treated as corruption, not data (a single
+#: base-file snapshot or delta should never approach it)
+MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
+
+
+class StoreFormatError(Exception):
+    """A store file is not what its header claims to be."""
+
+
+def frame_crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def frame_size(payload_length: int) -> int:
+    """Total on-disk bytes one frame of ``payload_length`` occupies."""
+    return FRAME_HEADER.size + payload_length
+
+
+def write_header(fh: BinaryIO, magic: bytes) -> None:
+    fh.write(FILE_HEADER.pack(magic, FORMAT_VERSION))
+
+
+def check_header(data: bytes, magic: bytes, path: str = "") -> None:
+    """Validate a file header; raises :class:`StoreFormatError`."""
+    if len(data) < FILE_HEADER.size:
+        raise StoreFormatError(f"{path or 'store file'}: truncated header")
+    found_magic, version = FILE_HEADER.unpack_from(data)
+    if found_magic != magic:
+        raise StoreFormatError(
+            f"{path or 'store file'}: bad magic {found_magic!r}, want {magic!r}"
+        )
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{path or 'store file'}: format version {version}, "
+            f"this build reads {FORMAT_VERSION}"
+        )
+
+
+def write_frame(fh: BinaryIO, payload: bytes) -> int:
+    """Append one frame; returns the number of bytes written."""
+    fh.write(FRAME_HEADER.pack(len(payload), frame_crc(payload)))
+    fh.write(payload)
+    return frame_size(len(payload))
+
+
+@dataclass(slots=True)
+class ScannedFrame:
+    """One valid frame found by :func:`scan_frames`."""
+
+    offset: int  # file offset of the frame header
+    payload: bytes
+
+    @property
+    def end(self) -> int:
+        return self.offset + frame_size(len(self.payload))
+
+
+def scan_frames(data: bytes, start: int) -> tuple[list[ScannedFrame], int]:
+    """Walk frames from ``start``; return ``(frames, valid_end)``.
+
+    Stops — without raising — at the first torn or corrupted frame:
+    truncated header, truncated payload, implausible length, or CRC
+    mismatch.  ``valid_end`` is the offset just past the last good frame
+    (== ``start`` when none are), i.e. the truncation point recovery
+    should apply.
+    """
+    frames: list[ScannedFrame] = []
+    pos = start
+    size = len(data)
+    while True:
+        if pos + FRAME_HEADER.size > size:
+            return frames, pos
+        length, crc = FRAME_HEADER.unpack_from(data, pos)
+        if length > MAX_FRAME_PAYLOAD:
+            return frames, pos
+        body_start = pos + FRAME_HEADER.size
+        body_end = body_start + length
+        if body_end > size:
+            return frames, pos
+        payload = data[body_start:body_end]
+        if frame_crc(payload) != crc:
+            return frames, pos
+        frames.append(ScannedFrame(offset=pos, payload=payload))
+        pos = body_end
+
+
+def iter_frames(data: bytes, start: int) -> Iterator[ScannedFrame]:
+    """Frame iterator with the same stop-at-first-damage contract."""
+    frames, _ = scan_frames(data, start)
+    return iter(frames)

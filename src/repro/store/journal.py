@@ -1,0 +1,114 @@
+"""The class-lifecycle journal: an append-only log of engine events.
+
+Every durable fact about the delta-server's class state is a journal
+record — class created, membership add, base version committed (with the
+pack location of its payload), quarantine, release, history eviction.
+Records are JSON objects inside CRC-framed records
+(:mod:`repro.store.format`), so the journal is both the write-ahead
+authority the commit protocol fsyncs and a self-describing debug surface
+(``repro store inspect`` dumps it verbatim).
+
+Durability is caller-controlled per append: base commits sync (the
+crash-safety contract), membership adds do not (losing one means a URL
+re-runs the grouping search after a crash — harmless), and a syncing
+append flushes every buffered record written before it, so the on-disk
+record order always matches the append order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.store.format import (
+    FILE_HEADER,
+    ScannedFrame,
+    check_header,
+    scan_frames,
+    write_frame,
+    write_header,
+)
+
+JOURNAL_MAGIC = b"RJL1"
+
+#: journal record types (the ``"type"`` field of each JSON record)
+REC_CLASS = "class_created"
+REC_MEMBER = "member_added"
+REC_BASE = "base_committed"
+REC_QUARANTINE = "class_quarantined"
+REC_RELEASE = "base_released"
+REC_EVICT = "history_evicted"
+
+
+class Journal:
+    """Append side of one journal file (reads go through :func:`scan_journal`)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        self._fh = open(self.path, "ab")
+        self.records = 0
+        if not exists:
+            write_header(self._fh, JOURNAL_MAGIC)
+            self.sync()
+        self.bytes = self._fh.tell()
+
+    def append(self, record: dict, *, sync: bool) -> None:
+        """Append one record; ``sync=True`` makes it (and all before it) durable."""
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        self.bytes += write_frame(self._fh, payload)
+        self.records += 1
+        if sync:
+            self.sync()
+        else:
+            self._fh.flush()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+
+def scan_journal(path: Path) -> tuple[list[tuple[int, dict]], int, int]:
+    """Read the valid record prefix of a journal file.
+
+    Returns ``(records, valid_end, file_size)`` where each record is
+    ``(frame_offset, decoded_dict)`` and ``valid_end`` is the offset the
+    file should be truncated to if shorter than ``file_size``.  A frame
+    that passes its CRC but does not decode as a JSON object still ends
+    the valid prefix (conservative: nothing after damage is trusted).
+    """
+    data = Path(path).read_bytes()
+    check_header(data, JOURNAL_MAGIC, str(path))
+    frames, valid_end = scan_frames(data, FILE_HEADER.size)
+    records: list[tuple[int, dict]] = []
+    for frame in frames:
+        record = _decode(frame)
+        if record is None:
+            return records, frame.offset, len(data)
+        records.append((frame.offset, record))
+    return records, valid_end, len(data)
+
+
+def _decode(frame: ScannedFrame) -> dict | None:
+    try:
+        record = json.loads(frame.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "type" not in record:
+        return None
+    return record
+
+
+def truncate_file(path: Path, end: int) -> None:
+    """Chop a store file to ``end`` bytes (recovery's torn-tail repair)."""
+    with open(path, "r+b") as fh:
+        fh.truncate(end)
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -130,3 +130,84 @@ class TestServerIntegration:
         assert response.status == 200
         cls = server.class_of(urls[0])
         assert cls.raw_base is not None
+
+
+class TestHistoryBudget:
+    """Stage-0: on-disk history eviction, the live/history split, compaction."""
+
+    def _store_with_history(self, tmp_path, classes):
+        from repro.store import PersistentStoreHooks, Store
+
+        store = Store.open(tmp_path / "state", snapshot_every=4)
+        for cls in classes:
+            store.add_class(cls.class_id, cls.server, cls.hint)
+            for v in range(1, 6):
+                store.commit_base(
+                    cls.class_id, v, b"v" * 400 + str(v).encode() * 40
+                )
+        return store, PersistentStoreHooks(store)
+
+    def test_usage_reports_live_history_split(self, tmp_path):
+        cls = make_class("c1", b"x" * 1000)
+        store, hooks = self._store_with_history(tmp_path, [cls])
+        manager = StorageManager(store_hooks=hooks)
+        live, history = manager.usage([cls])
+        assert live == 1000
+        assert history == store.live_pack_bytes > 0
+        assert manager.stats.live_bytes == 1000
+        assert manager.stats.history_bytes == history
+        assert manager.stats.used_bytes == live + history
+        store.close()
+
+    def test_history_evicted_before_bases_released(self, tmp_path):
+        hot = make_class("hot", b"h" * 1000, hits=100)
+        cold = make_class("cold", b"c" * 1000, hits=1)
+        store, hooks = self._store_with_history(tmp_path, [hot, cold])
+        history = store.live_pack_bytes
+        # Budget covers both live bases, but not the full history: stage 0
+        # must reclaim history without touching any in-memory base.
+        budget = 2000 + history // 2
+        manager = StorageManager(budget, store_hooks=hooks)
+        reclaimed = manager.enforce([hot, cold])
+        assert reclaimed > 0
+        assert manager.stats.history_evictions > 0
+        assert manager.stats.base_releases == 0
+        assert hot.raw_base is not None and cold.raw_base is not None
+        # Coldest class's history went first; its latest version survives.
+        assert set(store.class_state("cold").entries) == {5}
+        store.close()
+
+    def test_release_is_journaled_to_the_store(self, tmp_path):
+        from repro.store import Store
+
+        hot = make_class("hot", b"h" * 1000, hits=100)
+        cold = make_class("cold", b"c" * 1000, hits=1)
+        store, hooks = self._store_with_history(tmp_path, [hot, cold])
+        manager = StorageManager(1000, store_hooks=hooks)
+        manager.enforce([hot, cold], protect=hot)
+        assert manager.stats.base_releases > 0
+        assert cold.raw_base is None
+        assert store.class_state("cold").latest is None
+        store.close()
+        # A restart cannot resurrect the released payloads.
+        reopened = Store.open(tmp_path / "state")
+        assert reopened.class_state("cold").latest is None
+        reopened.close()
+
+    def test_compaction_triggered_by_garbage_ratio(self, tmp_path):
+        cold = make_class("cold", b"c" * 1000, hits=1)
+        store, hooks = self._store_with_history(tmp_path, [cold])
+        pack_before = store.pack_bytes
+        manager = StorageManager(
+            1100, store_hooks=hooks, compact_garbage_ratio=0.3
+        )
+        manager.enforce([cold])
+        assert manager.stats.compactions == 1
+        assert store.snapshot()["generation"] == 2
+        assert store.pack_bytes < pack_before
+        store.close()
+
+    def test_without_store_behaves_as_before(self):
+        manager = StorageManager(budget_bytes=1500)
+        live, history = manager.usage([make_class("c1", b"x" * 1000)])
+        assert (live, history) == (1000, 0)

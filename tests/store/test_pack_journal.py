@@ -1,0 +1,174 @@
+"""Tests for the store's file layers: framing, pack, journal."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.format import (
+    FILE_HEADER,
+    FRAME_HEADER,
+    MAX_FRAME_PAYLOAD,
+    StoreFormatError,
+    check_header,
+    frame_size,
+    scan_frames,
+)
+from repro.store.journal import JOURNAL_MAGIC, Journal, scan_journal
+from repro.store.pack import PACK_MAGIC, Pack, PackCorruptionError
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def write_frames(payloads):
+    import io
+
+    from repro.store.format import write_frame, write_header
+
+    buf = io.BytesIO()
+    write_header(buf, b"TST1")
+    for payload in payloads:
+        write_frame(buf, payload)
+    return buf.getvalue()
+
+
+def test_scan_round_trip():
+    payloads = [b"alpha", b"", b"x" * 1000]
+    data = write_frames(payloads)
+    frames, valid_end = scan_frames(data, FILE_HEADER.size)
+    assert [f.payload for f in frames] == payloads
+    assert valid_end == len(data)
+
+
+def test_scan_stops_at_torn_tail():
+    data = write_frames([b"alpha", b"beta"])
+    for cut in range(FILE_HEADER.size, len(data)):
+        frames, valid_end = scan_frames(data[:cut], FILE_HEADER.size)
+        # Never claims more than what was fully written, never raises.
+        assert valid_end <= cut
+        for frame in frames:
+            assert frame.end <= cut
+
+
+def test_scan_stops_at_corruption():
+    data = bytearray(write_frames([b"alpha", b"beta", b"gamma"]))
+    second = FILE_HEADER.size + frame_size(5)
+    data[second + FRAME_HEADER.size] ^= 0xFF  # flip a payload byte of "beta"
+    frames, valid_end = scan_frames(bytes(data), FILE_HEADER.size)
+    assert [f.payload for f in frames] == [b"alpha"]
+    assert valid_end == second
+
+
+def test_scan_rejects_implausible_length():
+    data = write_frames([b"ok"]) + FRAME_HEADER.pack(MAX_FRAME_PAYLOAD + 1, 0)
+    frames, valid_end = scan_frames(data, FILE_HEADER.size)
+    assert [f.payload for f in frames] == [b"ok"]
+
+
+def test_check_header_rejects_wrong_magic_and_version():
+    with pytest.raises(StoreFormatError):
+        check_header(b"", b"TST1")
+    with pytest.raises(StoreFormatError):
+        check_header(FILE_HEADER.pack(b"BAD1", 1), b"TST1")
+    with pytest.raises(StoreFormatError):
+        check_header(FILE_HEADER.pack(b"TST1", 99), b"TST1")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payloads=st.lists(st.binary(max_size=200), max_size=8),
+    cut=st.integers(min_value=0, max_value=2000),
+)
+def test_scan_any_truncation_yields_frame_prefix(payloads, cut):
+    """Truncating at ANY byte offset yields a prefix of the written frames."""
+    data = write_frames(payloads)
+    cut = min(cut + FILE_HEADER.size, len(data))
+    frames, valid_end = scan_frames(data[:cut], FILE_HEADER.size)
+    assert [f.payload for f in frames] == payloads[: len(frames)]
+    assert valid_end <= cut
+
+
+# -- pack -------------------------------------------------------------------
+
+
+def test_pack_append_read_round_trip(tmp_path):
+    pack = Pack(tmp_path / "p.rpk")
+    locs = [pack.append(body, sync=False) for body in (b"one", b"", b"three" * 99)]
+    for (offset, length), body in zip(locs, (b"one", b"", b"three" * 99)):
+        assert pack.read(offset, length) == body
+    pack.close()
+    # Reopen appends after the existing end.
+    pack2 = Pack(tmp_path / "p.rpk")
+    offset, length = pack2.append(b"four", sync=True)
+    assert offset == locs[-1][0] + locs[-1][1]
+    assert pack2.read(offset, length) == b"four"
+    pack2.close()
+
+
+def test_pack_read_detects_corruption(tmp_path):
+    path = tmp_path / "p.rpk"
+    pack = Pack(path)
+    offset, length = pack.append(b"payload-bytes", sync=True)
+    pack.close()
+    data = bytearray(path.read_bytes())
+    data[offset + FRAME_HEADER.size] ^= 0x01
+    path.write_bytes(bytes(data))
+    pack2 = Pack(path)
+    with pytest.raises(PackCorruptionError):
+        pack2.read(offset, length)
+    assert not pack2.verify(offset, length)
+    pack2.close()
+
+
+def test_pack_rejects_foreign_file(tmp_path):
+    path = tmp_path / "p.rpk"
+    path.write_bytes(b"this is not a pack file at all")
+    with pytest.raises(StoreFormatError):
+        Pack(path)
+
+
+# -- journal ----------------------------------------------------------------
+
+
+def test_journal_round_trip(tmp_path):
+    path = tmp_path / "j.rjl"
+    journal = Journal(path)
+    records = [
+        {"type": "class_created", "class_id": "cls1", "server": "s", "hint": "h"},
+        {"type": "member_added", "class_id": "cls1", "url": "s/u"},
+    ]
+    for record in records:
+        journal.append(record, sync=False)
+    journal.close()
+    scanned, valid_end, size = scan_journal(path)
+    assert [record for _, record in scanned] == records
+    assert valid_end == size == os.path.getsize(path)
+
+
+def test_journal_survives_reopen_append(tmp_path):
+    path = tmp_path / "j.rjl"
+    journal = Journal(path)
+    journal.append({"type": "a"}, sync=True)
+    journal.close()
+    journal2 = Journal(path)
+    journal2.append({"type": "b"}, sync=True)
+    journal2.close()
+    scanned, _, _ = scan_journal(path)
+    assert [record["type"] for _, record in scanned] == ["a", "b"]
+
+
+def test_journal_valid_json_but_not_object_ends_prefix(tmp_path):
+    """A CRC-valid frame that is not a JSON record object ends the prefix."""
+    from repro.store.format import write_frame
+
+    path = tmp_path / "j.rjl"
+    journal = Journal(path)
+    journal.append({"type": "a"}, sync=False)
+    write_frame(journal._fh, b"[1, 2, 3]")  # valid frame, not a record
+    journal.append({"type": "b"}, sync=True)
+    journal.close()
+    scanned, valid_end, size = scan_journal(path)
+    assert [record["type"] for _, record in scanned] == ["a"]
+    assert valid_end < size  # everything from the bad frame on is distrusted

@@ -176,3 +176,109 @@ class TestTraceStats:
         output = capsys.readouterr().out
         assert "Zipf alpha" in output
         assert "requests" in output
+
+
+class TestStoreInspect:
+    def _seed(self, tmp_path):
+        from repro.store import Store
+
+        state_dir = tmp_path / "state"
+        store = Store.open(state_dir, snapshot_every=4)
+        store.add_class("cls1", "www.s.com", "hint")
+        store.add_member("cls1", "www.s.com/a")
+        for v in range(1, 4):
+            store.commit_base("cls1", v, b"<html>body " * 100 + str(v).encode())
+        store.close()
+        return state_dir
+
+    def test_inspect_dumps_json(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._seed(tmp_path)
+        assert main(["store", "inspect", str(state_dir)]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["generation"] == 1
+        assert dump["journal"]["torn_tail_bytes"] == 0
+        assert dump["classes"]["cls1"]["versions"] == [1, 2, 3]
+        assert dump["classes"]["cls1"]["latest"] == 3
+
+    def test_inspect_compact_is_single_line(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._seed(tmp_path)
+        assert main(["store", "inspect", str(state_dir), "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+        assert json.loads(out)["classes"]["cls1"]["members"] == 1
+
+    def test_inspect_missing_dir_fails(self, tmp_path, capsys):
+        code = main(["store", "inspect", str(tmp_path / "nope")])
+        assert code == 1
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])
+
+
+class TestServeStateDir:
+    def test_serve_persists_and_warm_restarts(self, tmp_path, capsys):
+        """serve --state-dir twice over the same directory: the second boot
+        reports a warm start — the same check the CI smoke job makes."""
+        import json
+        import re
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        state_dir = tmp_path / "state"
+        trace_path = tmp_path / "t.log"
+        main(["trace-gen", "--requests", "40", "--users", "4", "--out", str(trace_path)])
+        capsys.readouterr()
+
+        def boot_and_load(extra_requests):
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+            server = threading.Thread(
+                target=main,
+                args=(
+                    [
+                        "serve", "--port", str(port),
+                        "--state-dir", str(state_dir),
+                        "--snapshot-every", "4",
+                        "--max-requests", str(40 + extra_requests),
+                    ],
+                ),
+                daemon=True,
+            )
+            server.start()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    with socket.create_connection(("127.0.0.1", port), timeout=0.2):
+                        break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                raise AssertionError("server never started listening")
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/__health__", timeout=2.0
+            ) as resp:
+                health = json.loads(resp.read())
+            code = main(["loadgen", str(trace_path), "--port", str(port)])
+            assert code == 0
+            server.join(timeout=10.0)
+            return health
+
+        cold = boot_and_load(extra_requests=30)
+        out_cold = capsys.readouterr().out
+        assert cold["engine"]["warm_start"] is False
+        assert re.search(r"persistent store: .*warm_start=False", out_cold)
+
+        warm = boot_and_load(extra_requests=30)
+        out_warm = capsys.readouterr().out
+        assert warm["engine"]["warm_start"] is True
+        assert warm["engine"]["rehydrated_classes"] > 0
+        assert warm["engine"]["store"]["classes"] > 0
+        assert re.search(r"persistent store: .*warm_start=True", out_warm)
