@@ -38,6 +38,31 @@ from repro.workload import Trace, WorkloadSpec, analyze_trace, generate_workload
 
 DEFAULT_SITE = "www.shop.example"
 
+DEFAULT_CONTROL_FILE = "fleet.json"
+
+
+def _install_signal_handlers(loop: asyncio.AbstractEventLoop, handlers) -> None:
+    """Wire signal → callback, surviving event loops that can't.
+
+    ``add_signal_handler`` raises off the main thread (tests) and on
+    loops without signal support; fall back to ``signal.signal`` so a
+    plain ``kill`` still runs the graceful-drain path instead of
+    skipping ``engine.close()``'s store shutdown.
+    """
+    for sig, callback in handlers.items():
+        try:
+            loop.add_signal_handler(sig, callback)
+            continue
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass
+        try:
+            signal.signal(
+                sig,
+                lambda *_args, _cb=callback: loop.call_soon_threadsafe(_cb),
+            )
+        except (ValueError, OSError):
+            pass  # not the main thread: no signal-driven shutdown here
+
 
 def _build_site(args: argparse.Namespace) -> SyntheticSite:
     return SyntheticSite(
@@ -167,6 +192,9 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers and args.fleet_worker_id is None:
+        return cmd_serve_fleet(args)
+
     from repro.resilience import FaultPlan, ResilienceConfig
     from repro.serve import build_server
 
@@ -187,6 +215,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_failure_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
     )
+    # -- fleet worker wiring (hidden flags set by the supervisor) --
+    fleet_config = None
+    listen_sock = None
+    if args.fleet_worker_id is not None:
+        import socket as socket_module
+
+        from repro.fleet import FleetWorkerConfig
+
+        fleet_config = FleetWorkerConfig(
+            worker_id=args.fleet_worker_id,
+            workers=args.fleet_size,
+            internal_port=args.fleet_internal_port,
+            peer_ports=tuple(int(p) for p in args.fleet_peers.split(",")),
+        )
+        if args.fleet_listen_fd is not None:
+            # Parent-acceptor fallback: adopt the supervisor's inherited
+            # listening socket instead of binding our own.
+            listen_sock = socket_module.socket(fileno=args.fleet_listen_fd)
 
     async def run() -> int:
         server = build_server(
@@ -201,10 +247,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             executor_workers=args.executor_workers,
             state_dir=args.state_dir,
             snapshot_every=args.snapshot_every,
+            fleet=fleet_config,
             host=args.host,
             port=args.port,
             max_connections=args.max_connections,
             request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+            reuse_port=args.reuse_port,
+            listen_sock=listen_sock,
         )
         async with server:
             host, port = server.address
@@ -226,14 +276,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"fault injection: {fault_plan.describe()}", flush=True)
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
-            for sig in (signal.SIGINT, signal.SIGTERM):
-                # ValueError/RuntimeError: not on the main thread (tests
-                # run the command in a worker thread); serve without
-                # signal handling there.
-                with contextlib.suppress(
-                    NotImplementedError, ValueError, RuntimeError
-                ):
-                    loop.add_signal_handler(sig, stop.set)
+            _install_signal_handlers(
+                loop, {signal.SIGINT: stop.set, signal.SIGTERM: stop.set}
+            )
             serving = asyncio.ensure_future(server.serve_forever())
             snapshot_task = None
             if args.metrics_interval:
@@ -271,9 +316,195 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     f"retries={policy['retries']}, fast-fails={policy['fast_fails']}",
                     flush=True,
                 )
+        if server.drain_report is not None:
+            drained = server.drain_report
+            print(
+                f"drain complete: in_flight={drained['in_flight']} "
+                f"cancelled={drained['cancelled']} "
+                f"seconds={drained['seconds']}",
+                flush=True,
+            )
         return 0
 
     return asyncio.run(run())
+
+
+def _fleet_worker_passthrough(args: argparse.Namespace) -> list[str]:
+    """Serve flags forwarded verbatim to every fleet worker's argv."""
+    flags = [
+        "--site", args.site,
+        "--url-style", args.url_style,
+        "--categories", args.categories,
+        "--products", str(args.products),
+        "--mode", args.mode,
+        "--engine-mode", args.engine_mode,
+        "--max-connections", str(args.max_connections),
+        "--request-timeout", str(args.request_timeout),
+        "--drain-timeout", str(args.drain_timeout),
+        "--executor", args.executor,
+        "--origin-latency", str(args.origin_latency),
+        "--origin-jitter", str(args.origin_jitter),
+        "--origin-retries", str(args.origin_retries),
+        "--origin-deadline", str(args.origin_deadline),
+        "--breaker-threshold", str(args.breaker_threshold),
+        "--breaker-cooldown", str(args.breaker_cooldown),
+        "--anon-n", str(args.anon_n),
+        "--anon-m", str(args.anon_m),
+    ]
+    if args.executor_workers is not None:
+        flags += ["--executor-workers", str(args.executor_workers)]
+    if args.fault_plan:
+        flags += ["--fault-plan", args.fault_plan,
+                  "--fault-seed", str(args.fault_seed)]
+    if args.no_resilience:
+        flags.append("--no-resilience")
+    if args.snapshot_every is not None:
+        flags += ["--snapshot-every", str(args.snapshot_every)]
+    if args.metrics_interval:
+        flags += ["--metrics-interval", str(args.metrics_interval)]
+    return flags
+
+
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --workers N``: run the supervised multi-process fleet."""
+    from repro.fleet import FleetConfig, FleetSupervisor
+
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        admin_port=args.admin_port,
+        accept_mode=args.accept_mode,
+        # Outer patience: the worker's own graceful drain gets its full
+        # budget before the supervisor escalates to SIGKILL.
+        drain_grace=args.drain_timeout + 5.0,
+        state_dir=args.state_dir,
+        control_file=args.control_file or DEFAULT_CONTROL_FILE,
+        worker_args=tuple(_fleet_worker_passthrough(args)),
+    )
+
+    async def run() -> int:
+        supervisor = FleetSupervisor(config)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handlers = {signal.SIGINT: stop.set, signal.SIGTERM: stop.set}
+        sighup = getattr(signal, "SIGHUP", None)
+        if sighup is not None:
+            handlers[sighup] = lambda: asyncio.ensure_future(supervisor.roll())
+        _install_signal_handlers(loop, handlers)
+        try:
+            await supervisor.start()
+        except Exception:
+            supervisor.close()
+            raise
+        print(
+            f"fleet listening on {config.host}:{supervisor.port} "
+            f"(workers={config.workers}, accept={supervisor.accept_mode}, "
+            f"admin=127.0.0.1:{supervisor.admin_address[1]})",
+            flush=True,
+        )
+        stop_task = asyncio.ensure_future(stop.wait())
+        drained_task = asyncio.ensure_future(supervisor.run_until_drained())
+        await asyncio.wait(
+            {stop_task, drained_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        stop_task.cancel()
+        if not drained_task.done():
+            await supervisor.drain()
+            await drained_task
+        for handle in supervisor.handles:
+            print(
+                f"fleet worker {handle.worker_id}: exit={handle.last_exit} "
+                f"restarts={handle.restarts} "
+                f"drain_seconds={handle.last_drain_seconds}",
+                flush=True,
+            )
+        clean = all(handle.last_exit == 0 for handle in supervisor.handles)
+        print(f"fleet drained ({'clean' if clean else 'forced'})", flush=True)
+        return 0 if clean else 1
+
+    return asyncio.run(run())
+
+
+def _read_control_file(path: str) -> dict | None:
+    import json as _json
+
+    try:
+        return _json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet status|drain|roll``: control a running fleet."""
+    import json as _json
+
+    from repro.fleet import http_get
+
+    control = _read_control_file(args.control_file)
+    if control is None:
+        print(
+            f"fleet {args.fleet_command}: no control file at "
+            f"{args.control_file} (is the fleet running?)",
+            file=sys.stderr,
+        )
+        return 1
+    admin_host = control["admin_host"]
+    admin_port = control["admin_port"]
+    endpoint = {
+        "status": "__health__",
+        "drain": "__drain__",
+        "roll": "__roll__",
+    }[args.fleet_command]
+
+    async def call() -> int:
+        try:
+            response = await http_get(
+                admin_host, admin_port, endpoint, timeout=5.0
+            )
+        except Exception as exc:
+            # Admin endpoint gone but supervisor maybe alive: fall back
+            # to plain signals against the supervisor pid.
+            sig = {
+                "drain": signal.SIGTERM,
+                "roll": getattr(signal, "SIGHUP", signal.SIGTERM),
+            }.get(args.fleet_command)
+            if sig is None:
+                print(f"fleet status: admin unreachable: {exc}", file=sys.stderr)
+                return 1
+            try:
+                import os
+
+                os.kill(control["pid"], sig)
+            except (OSError, ProcessLookupError) as kill_exc:
+                print(f"fleet {args.fleet_command}: {kill_exc}", file=sys.stderr)
+                return 1
+            print(f"fleet {args.fleet_command}: signalled pid {control['pid']}")
+            return 0
+        if args.fleet_command == "status":
+            payload = _json.loads(response.body.decode())
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if payload.get("status") == "ok" else 2
+        print(response.body.decode())
+        return 0
+
+    result = asyncio.run(call())
+    if args.fleet_command == "drain" and getattr(args, "wait", False):
+        import os
+        import time as time_module
+
+        deadline = time_module.monotonic() + args.timeout
+        while time_module.monotonic() < deadline:
+            try:
+                os.kill(control["pid"], 0)
+            except (OSError, ProcessLookupError):
+                print("fleet drain: supervisor exited")
+                return result
+            time_module.sleep(0.2)
+        print("fleet drain: supervisor still running after --timeout",
+              file=sys.stderr)
+        return 1
+    return result
 
 
 def cmd_store_inspect(args: argparse.Namespace) -> int:
@@ -316,11 +547,9 @@ def cmd_proxy(args: argparse.Namespace) -> int:
             )
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
-            for sig in (signal.SIGINT, signal.SIGTERM):
-                with contextlib.suppress(
-                    NotImplementedError, ValueError, RuntimeError
-                ):
-                    loop.add_signal_handler(sig, stop.set)
+            _install_signal_handlers(
+                loop, {signal.SIGINT: stop.set, signal.SIGTERM: stop.set}
+            )
             serving = asyncio.ensure_future(server.serve_forever())
             try:
                 while not stop.is_set():
@@ -482,7 +711,59 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="K",
                        help="store a full base-file snapshot every K versions "
                             "(delta chain length bound; default 8)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="graceful-drain budget for in-flight requests "
+                            "on shutdown, seconds")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="run a supervised multi-process worker fleet of "
+                            "this size sharing the listen address (classes "
+                            "partitioned across workers; crashed workers are "
+                            "restarted; SIGTERM drains, SIGHUP rolls)")
+    serve.add_argument("--admin-port", type=int, default=0,
+                       help="fleet admin endpoint port (aggregated "
+                            "/__health__ and /__metrics__; 0 = ephemeral)")
+    serve.add_argument("--accept-mode", default="auto",
+                       choices=["auto", "reuseport", "inherit"],
+                       help="fleet listener sharing: SO_REUSEPORT or a "
+                            "parent-held inherited socket (auto picks)")
+    serve.add_argument("--control-file", default=None,
+                       help="fleet control JSON path (default fleet.json; "
+                            "the 'fleet' verbs read it)")
+    # Hidden flags the fleet supervisor sets when spawning workers.
+    serve.add_argument("--fleet-worker-id", type=int, default=None,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--fleet-size", type=int, default=None,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--fleet-internal-port", type=int, default=None,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--fleet-peers", default=None, help=argparse.SUPPRESS)
+    serve.add_argument("--fleet-listen-fd", type=int, default=None,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--reuse-port", action="store_true",
+                       help=argparse.SUPPRESS)
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="control a running worker fleet (serve --workers N)"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print the fleet's aggregated health JSON"
+    )
+    fleet_drain = fleet_sub.add_parser(
+        "drain", help="gracefully drain and stop the fleet"
+    )
+    fleet_drain.add_argument("--wait", action="store_true",
+                             help="block until the supervisor has exited")
+    fleet_drain.add_argument("--timeout", type=float, default=60.0,
+                             help="--wait deadline, seconds")
+    fleet_roll = fleet_sub.add_parser(
+        "roll", help="rolling restart: one worker at a time, no downtime"
+    )
+    for fleet_verb in (fleet_status, fleet_drain, fleet_roll):
+        fleet_verb.add_argument("--control-file", default=DEFAULT_CONTROL_FILE,
+                                help="fleet control JSON written by serve")
+        fleet_verb.set_defaults(func=cmd_fleet)
 
     store = sub.add_parser(
         "store", help="inspect the persistent pack/journal store"

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import re
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
@@ -191,6 +192,7 @@ class DeltaServer:
         *,
         metrics: MetricsRegistry | None = None,
         store_hooks: StoreHooks | None = None,
+        class_id_prefix: str = "",
     ) -> None:
         self.config = config or DeltaServerConfig()
         self._origin_fetch = origin_fetch
@@ -216,7 +218,11 @@ class DeltaServer:
         self._rng = random.Random(self.config.seed)
         self._encoder = VdeltaEncoder()
         self._estimator = LightEstimator()
+        #: fleet workers mint ids under a ``w<k>-`` prefix so base-file
+        #: URLs can be routed to the owning worker without a directory
+        self._class_id_prefix = class_id_prefix
         self._class_ids = itertools.count(1)
+        self._closed = False
         self._controllers: dict[str, RebaseController] = {}
         self._counters = StripedCounters(STAT_FIELDS)
         self.storage = StorageManager(
@@ -243,7 +249,7 @@ class DeltaServer:
         return ServerStats(**self._counters.snapshot())
 
     def _new_class(self, server: str, hint: str) -> DocumentClass:
-        class_id = f"cls{next(self._class_ids)}"
+        class_id = f"{self._class_id_prefix}cls{next(self._class_ids)}"
         cls = self._build_class(class_id, server, hint)
         self.store_hooks.class_created(class_id, server, hint)
         return cls
@@ -287,9 +293,11 @@ class DeltaServer:
         ones (``cls<N>`` ids are assigned from a monotone counter)."""
         highest = 0
         for class_id in class_ids:
-            digits = "".join(ch for ch in class_id if ch.isdigit())
-            if digits:
-                highest = max(highest, int(digits))
+            # Only the trailing run of digits is the counter value: a
+            # fleet-prefixed id like ``w3-cls12`` must seed 12, not 312.
+            match = re.search(r"(\d+)$", class_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
         if highest:
             self._class_ids = itertools.count(highest + 1)
 
@@ -483,7 +491,14 @@ class DeltaServer:
         }
 
     def close(self) -> None:
-        """Flush and close the persistent store (no-op without one)."""
+        """Flush and close the persistent store (no-op without one).
+
+        Idempotent: the serve layer's drain path and process-exit cleanup
+        can both reach this — the second and later calls do nothing.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.store_hooks.close()
 
     # -- internals ---------------------------------------------------------------
@@ -760,6 +775,15 @@ class DeltaServer:
         if not version.isascii() or not version.isdigit():
             return None
         return class_id, int(version)
+
+    @staticmethod
+    def parse_base_file_url(url: str) -> tuple[str, int] | None:
+        """Public base-file URL recognizer: ``(class_id, version)`` or None.
+
+        The fleet router uses this to route a base-file request to the
+        worker that minted the class id.
+        """
+        return DeltaServer._parse_base_file_url(url)
 
     def _serve_base_file(
         self, class_id: str, version: int, *, timings: dict[str, float]

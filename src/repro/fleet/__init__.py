@@ -1,0 +1,53 @@
+"""Multi-process worker fleet: supervision, class partitioning, aggregation.
+
+The scale-out tier (ROADMAP item 1): a supervisor spawns N delta-server
+workers sharing one listen address, document classes are partitioned
+across workers by consistent hashing on the grouper's (server, hint)
+key, and the supervisor aggregates health/metrics, restarts crashed
+workers from their store shards, and drains the fleet gracefully.
+"""
+
+from repro.fleet.aggregate import merge_expositions, relabel_exposition
+from repro.fleet.partition import (
+    DEFAULT_VNODES,
+    PartitionMap,
+    owner_of_class_id,
+    worker_class_prefix,
+)
+from repro.fleet.router import (
+    HEADER_FLEET_FORWARDED,
+    HEADER_FLEET_WORKER,
+    FleetRouter,
+    FleetWorkerConfig,
+    PeerUnavailable,
+)
+from repro.fleet.supervisor import (
+    ACCEPT_INHERIT,
+    ACCEPT_REUSEPORT,
+    FleetConfig,
+    FleetSupervisor,
+    WorkerHandle,
+    http_get,
+    pick_accept_mode,
+)
+
+__all__ = [
+    "ACCEPT_INHERIT",
+    "ACCEPT_REUSEPORT",
+    "DEFAULT_VNODES",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetSupervisor",
+    "FleetWorkerConfig",
+    "HEADER_FLEET_FORWARDED",
+    "HEADER_FLEET_WORKER",
+    "PartitionMap",
+    "PeerUnavailable",
+    "WorkerHandle",
+    "http_get",
+    "merge_expositions",
+    "owner_of_class_id",
+    "pick_accept_mode",
+    "relabel_exposition",
+    "worker_class_prefix",
+]

@@ -1,0 +1,74 @@
+"""Fleet-wide Prometheus exposition: merge per-worker scrapes under one endpoint.
+
+The supervisor scrapes every worker's internal ``/__metrics__`` and
+serves one exposition.  Identical metric names from different workers
+would collide, so every sample line gets a ``worker="<k>"`` label
+injected; ``# HELP``/``# TYPE`` comment lines are deduplicated to their
+first occurrence because the exposition format allows each exactly once
+per family.  Histogram families stay valid under this relabeling — the
+``le`` buckets of one worker carry that worker's label on every bucket,
+so each (family, worker) group keeps its own monotone bucket series.
+"""
+
+from __future__ import annotations
+
+#: label key injected into every relabeled sample
+WORKER_LABEL = "worker"
+
+
+def relabel_exposition(text: str, worker_id: int) -> str:
+    """Inject ``worker="<id>"`` into every sample line of ``text``.
+
+    Comment lines (``# HELP``/``# TYPE``) and blanks pass through
+    untouched.  Handles both bare metrics (``name 1.0``) and labeled
+    ones (``name{a="b"} 1.0``); label *values* may contain ``}`` or
+    spaces, so labeled lines split at the final ``}`` rather than the
+    first whitespace.
+    """
+    label = f'{WORKER_LABEL}="{worker_id}"'
+    out: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            out.append(line)
+            continue
+        brace = stripped.find("{")
+        if brace != -1:
+            close = stripped.rfind("}")
+            if close > brace:
+                existing = stripped[brace + 1 : close].rstrip().rstrip(",")
+                inner = f"{existing},{label}" if existing else label
+                out.append(
+                    f"{stripped[:brace]}{{{inner}}}{stripped[close + 1:]}"
+                )
+                continue
+        name, _, rest = stripped.partition(" ")
+        out.append(f"{name}{{{label}}} {rest}")
+    return "\n".join(out)
+
+
+def merge_expositions(parts: dict[int, str], extra: str = "") -> str:
+    """One fleet exposition from per-worker scrapes plus supervisor lines.
+
+    ``parts`` maps worker id → that worker's raw exposition text (workers
+    that failed to scrape are simply absent — their liveness shows up in
+    the supervisor's own ``repro_fleet_worker_up`` series in ``extra``).
+    """
+    seen_comments: set[str] = set()
+    out: list[str] = []
+    for worker_id in sorted(parts):
+        for line in relabel_exposition(parts[worker_id], worker_id).splitlines():
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                # "# TYPE repro_x counter" → key "TYPE repro_x": one per family
+                fields = stripped.split(None, 3)
+                if len(fields) >= 3 and fields[1] in ("HELP", "TYPE"):
+                    key = f"{fields[1]} {fields[2]}"
+                    if key in seen_comments:
+                        continue
+                    seen_comments.add(key)
+            if stripped:
+                out.append(stripped)
+    if extra.strip():
+        out.extend(line for line in extra.splitlines() if line.strip())
+    return "\n".join(out) + "\n"

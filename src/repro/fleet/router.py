@@ -1,0 +1,227 @@
+"""Worker-side request routing: serve owned classes, forward the rest.
+
+With ``SO_REUSEPORT`` (or a shared inherited listener) the kernel hands
+any connection to any worker, but each document class lives in exactly
+one worker (:mod:`repro.fleet.partition`).  The router is the worker-side
+half of that contract:
+
+* document requests hash their ``(server, hint)`` key — computed with the
+  same admin :class:`~repro.url.rules.RuleBook` the grouper uses, so
+  router and grouper can never disagree about a URL's class key;
+* base-file requests (``.../__delta_base__/<class_id>/<version>``) route
+  by the worker prefix baked into the class id;
+* non-owned requests are forwarded verbatim over a pooled keep-alive
+  connection to the owner's *internal* port and the owner's response is
+  returned byte-preserving (``X-Served-At``, digests, and delta headers
+  untouched — the forwarding worker is a dumb pipe);
+* a dead owner (mid-restart) surfaces as :class:`PeerUnavailable`, which
+  the serve layer answers with a retryable ``503`` — the same contract
+  connection-slot exhaustion already has, and exactly what the load
+  generator's transport-retry path expects during a crash-restart window.
+
+Forward loops cannot form: a forwarded request carries
+``X-Fleet-Forwarded`` and is always served locally by the receiver, even
+if its map disagrees (it cannot, the map is deterministic — the header is
+belt-and-braces against a mid-rolling-restart mixed-version fleet).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.delta_server import DeltaServer
+from repro.fleet.partition import PartitionMap, owner_of_class_id
+from repro.http.messages import Request, Response
+from repro.serve.protocol import (
+    ProtocolError,
+    read_response,
+    serialize_request,
+)
+from repro.url.rules import RuleBook
+
+#: stamped on every response by the worker whose engine produced it
+HEADER_FLEET_WORKER = "X-Fleet-Worker"
+
+#: request header marking an intra-fleet forward (value: origin worker id)
+HEADER_FLEET_FORWARDED = "X-Fleet-Forwarded"
+
+
+class PeerUnavailable(Exception):
+    """The owning worker cannot be reached (crashed or mid-restart)."""
+
+
+@dataclass(slots=True)
+class FleetWorkerConfig:
+    """One worker's view of the fleet, as handed down by the supervisor."""
+
+    worker_id: int
+    workers: int
+    internal_port: int
+    #: internal (loopback) ports of every worker, indexed by worker id
+    peer_ports: tuple[int, ...]
+    peer_host: str = "127.0.0.1"
+    connect_timeout: float = 1.0
+    #: per-peer response deadline; beyond it the peer counts as down
+    forward_timeout: float = 10.0
+    #: keep-alive connections kept per peer
+    pool_size: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.worker_id < self.workers:
+            raise ValueError(
+                f"worker_id {self.worker_id} outside fleet of {self.workers}"
+            )
+        if len(self.peer_ports) != self.workers:
+            raise ValueError("peer_ports must list every worker's internal port")
+
+
+class FleetRouter:
+    """Ownership decisions plus the forwarding data path for one worker."""
+
+    def __init__(
+        self,
+        config: FleetWorkerConfig,
+        rulebook: RuleBook,
+        partition: PartitionMap | None = None,
+    ) -> None:
+        self.config = config
+        self.worker_id = config.worker_id
+        self.partition = partition or PartitionMap(config.workers)
+        self._rulebook = rulebook
+        #: per-peer keep-alive pools (event-loop confined; no locking)
+        self._pools: dict[int, deque[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+        # -- counters (single event loop; plain ints are exact) --
+        self.local_served = 0
+        self.forwarded = 0
+        self.forward_failures = 0
+        self.served_for_peers = 0
+        self._closed = False
+
+    # -- ownership -------------------------------------------------------------
+
+    def owner_for_url(self, url: str) -> int:
+        """Which worker owns the class state behind ``url``.
+
+        Base-file URLs route by the minting worker's class-id prefix;
+        everything else hashes the grouper's ``(server, hint)`` key.
+        """
+        base = DeltaServer.parse_base_file_url(url)
+        if base is not None:
+            class_id, _version = base
+            owner = owner_of_class_id(class_id)
+            if owner is not None and owner < self.config.workers:
+                return owner
+            return self.worker_id  # unprefixed/foreign id: serve locally
+        try:
+            parts = self._rulebook.partition(url)
+        except ValueError:
+            return self.worker_id  # unpartitionable URL: local 404 path
+        return self.partition.owner(parts.server, parts.hint)
+
+    def note_local(self, request: Request) -> None:
+        """Account a locally-served request (forwarded-in ones separately)."""
+        if request.headers.get(HEADER_FLEET_FORWARDED):
+            self.served_for_peers += 1
+        else:
+            self.local_served += 1
+
+    # -- forwarding ------------------------------------------------------------
+
+    async def forward(self, owner: int, request: Request) -> Response:
+        """Relay ``request`` to ``owner`` and return its response verbatim.
+
+        One stale-pool retry: a pooled connection that dies on use is
+        indistinguishable from a peer that restarted since the pool entry
+        was parked, so the first failure burns the pooled connection and
+        the retry opens a fresh one.  Only when a *fresh* connection also
+        fails is the peer declared unavailable.
+        """
+        request.headers.set(HEADER_FLEET_FORWARDED, str(self.worker_id))
+        wire = serialize_request(request)
+        for fresh in (False, True):
+            try:
+                reader, writer = await self._checkout(owner, force_fresh=fresh)
+            except (OSError, asyncio.TimeoutError) as exc:
+                self.forward_failures += 1
+                raise PeerUnavailable(
+                    f"worker {owner} unreachable: {exc}"
+                ) from exc
+            try:
+                writer.write(wire)
+                await writer.drain()
+                parsed = await asyncio.wait_for(
+                    read_response(reader), self.config.forward_timeout
+                )
+            except (ProtocolError, ConnectionError, OSError, asyncio.TimeoutError):
+                self._discard(writer)
+                if fresh:
+                    self.forward_failures += 1
+                    raise PeerUnavailable(f"worker {owner} died mid-forward")
+                continue  # stale pooled connection: retry on a fresh one
+            if parsed.keep_alive:
+                self._park(owner, reader, writer)
+            else:
+                self._discard(writer)
+            self.forwarded += 1
+            return parsed.response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _checkout(
+        self, owner: int, *, force_fresh: bool
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools.setdefault(owner, deque())
+        if not force_fresh:
+            while pool:
+                reader, writer = pool.popleft()
+                if not writer.is_closing():
+                    return reader, writer
+                self._discard(writer)
+        return await asyncio.wait_for(
+            asyncio.open_connection(
+                self.config.peer_host, self.config.peer_ports[owner]
+            ),
+            self.config.connect_timeout,
+        )
+
+    def _park(
+        self, owner: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        pool = self._pools.setdefault(owner, deque())
+        if self._closed or len(pool) >= self.config.pool_size or writer.is_closing():
+            self._discard(writer)
+            return
+        pool.append((reader, writer))
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    async def close(self) -> None:
+        """Drop every pooled peer connection (worker drain path).
+
+        In-flight forwards keep their checked-out connection and finish
+        normally; it is discarded instead of re-parked afterwards.
+        """
+        self._closed = True
+        for pool in self._pools.values():
+            while pool:
+                _, writer = pool.popleft()
+                self._discard(writer)
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "workers": self.config.workers,
+            "partition": self.partition.snapshot(),
+            "local_served": self.local_served,
+            "served_for_peers": self.served_for_peers,
+            "forwarded": self.forwarded,
+            "forward_failures": self.forward_failures,
+            "pooled_connections": sum(len(p) for p in self._pools.values()),
+        }

@@ -19,10 +19,14 @@ Two arrival disciplines:
   service rate (the DES sweep's discipline).
 
 Client-side resilience: with ``retries > 0`` the generator retries
-``502``/``503``/``504`` answers with capped exponential backoff
-(reconnecting when the server closed the connection), counts each retry
-per status (``retries_by_status``), and keeps verifying every byte after
-recovery — a retried request must still reconstruct exactly.  Responses
+``502``/``503``/``504`` answers *and* transport-level failures —
+connection resets, refused connects, closes mid-response — with capped
+exponential backoff (reconnecting when the server closed the
+connection), counts each retry per trigger (``retries_by_status``;
+transport retries appear under the ``"reset"`` key), and keeps verifying
+every byte after recovery — a retried request must still reconstruct
+exactly.  Transport failures are the client-visible signature of a fleet
+worker being restarted, so they follow the same retry contract as 503.  Responses
 the server marks ``X-Degraded`` (stale base-files during an origin
 outage) are counted separately and excluded from freshness verification:
 they are intentionally not fresh renders.
@@ -62,6 +66,7 @@ from repro.metrics import LatencySample, render_table
 from repro.serve.protocol import (
     HEADER_BODY_DIGEST,
     HEADER_SERVED_AT,
+    ConnectionClosedError,
     ProtocolError,
     digest_matches,
     read_response,
@@ -69,6 +74,10 @@ from repro.serve.protocol import (
 )
 from repro.url.parts import split_server
 from repro.workload.trace import Trace, TraceRecord
+
+#: ``retries_by_status`` key for transport-level retries (reset/refused/
+#: closed mid-exchange) as opposed to status-triggered ones (502/503/504)
+RETRY_TRANSPORT = "reset"
 
 #: (url, user, served_at) -> expected document bytes, or None to skip
 VerifyRender = Callable[[str, str, float], bytes | None]
@@ -192,7 +201,11 @@ class LoadReport:
             ["retries (by status)",
              ", ".join(
                  f"{status}:{count}"
-                 for status, count in sorted(self.retries_by_status.items())
+                 # str() key: the counter mixes int statuses with the
+                 # "reset" transport bucket.
+                 for status, count in sorted(
+                     self.retries_by_status.items(), key=lambda kv: str(kv[0])
+                 )
              ) or "none"],
             ["wire bytes in / out", f"{self.wire_bytes_in} / {self.wire_bytes_out}"],
             ["document / base-file bytes",
@@ -290,7 +303,7 @@ class LoadGenerator:
                         return
                     if conn is None or not conn.alive:
                         try:
-                            conn = await self._connect()
+                            conn = await self._connect_retrying(report)
                         except OSError:
                             report.requests += 1
                             report.errors += 1
@@ -327,7 +340,7 @@ class LoadGenerator:
                 if created < self.config.concurrency:
                     created += 1
                     try:
-                        return await self._connect()
+                        return await self._connect_retrying(report)
                     except OSError:
                         created -= 1
                         raise
@@ -368,6 +381,54 @@ class LoadGenerator:
     async def _connect(self) -> _Connection:
         reader, writer = await asyncio.open_connection(*self.config.connect_address)
         return _Connection(reader, writer)
+
+    def _retry_delay(self, attempt: int) -> float:
+        return min(
+            self.config.retry_backoff_cap,
+            self.config.retry_backoff * (2 ** (attempt - 1)),
+        )
+
+    async def _connect_retrying(self, report: LoadReport) -> _Connection:
+        """Connect, retrying refused/reset connects under the retry budget.
+
+        A refused connect is what a fleet looks like for the instant
+        every worker is mid-restart — as retryable as a 503 rejection.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await self._connect()
+            except OSError:
+                if attempt >= self.config.retries:
+                    raise
+                attempt += 1
+                report.retries_by_status[RETRY_TRANSPORT] += 1
+                await asyncio.sleep(self._retry_delay(attempt))
+
+    async def _roundtrip_retrying(
+        self, conn: _Connection, request: Request, report: LoadReport
+    ):
+        """One roundtrip with transport-level retries.
+
+        Resets, refused reconnects, and closes mid-response (a SIGKILLed
+        worker drops its accepted sockets) retry on a fresh connection
+        under the same budget and backoff as 502/503/504 answers, counted
+        under the ``"reset"`` key.  Framing errors (plain
+        :class:`ProtocolError`) are bugs, not restarts — they propagate.
+        """
+        attempt = 0
+        while True:
+            try:
+                if not conn.alive:
+                    await self._reopen(conn)
+                return await self._roundtrip(conn, request, report)
+            except (ConnectionClosedError, ConnectionError, OSError):
+                conn.alive = False
+                if attempt >= self.config.retries:
+                    raise
+                attempt += 1
+                report.retries_by_status[RETRY_TRANSPORT] += 1
+                await asyncio.sleep(self._retry_delay(attempt))
 
     async def _roundtrip(
         self, conn: _Connection, request: Request, report: LoadReport
@@ -416,7 +477,7 @@ class LoadGenerator:
         attempt = 0
         while True:
             started = time.perf_counter()
-            parsed = await self._roundtrip(conn, request, report)
+            parsed = await self._roundtrip_retrying(conn, request, report)
             latency = time.perf_counter() - started
             response = parsed.response
             report.status_counts[response.status] += 1
@@ -424,18 +485,12 @@ class LoadGenerator:
                 break
             if attempt < self.config.retries:
                 # Transient server-side condition: back off (capped
-                # exponential) and try again, reconnecting if the server
-                # closed the connection (503 rejections do).
+                # exponential) and try again (the retrying roundtrip
+                # reconnects if the server closed the connection —
+                # 503 rejections do).
                 attempt += 1
                 report.retries_by_status[response.status] += 1
-                await asyncio.sleep(
-                    min(
-                        self.config.retry_backoff_cap,
-                        self.config.retry_backoff * (2 ** (attempt - 1)),
-                    )
-                )
-                if not conn.alive:
-                    await self._reopen(conn)
+                await asyncio.sleep(self._retry_delay(attempt))
                 continue
             if response.status == 503:
                 report.rejected += 1
@@ -452,7 +507,7 @@ class LoadGenerator:
             # Unusable delta (lost base): the paper's fallback is a plain
             # refetch, which the server answers with a full response.
             self._url_refs.pop((user, url), None)
-            parsed = await self._roundtrip(
+            parsed = await self._roundtrip_retrying(
                 conn, Request(url=url, cookies={"uid": user}, client_id=user), report
             )
             response = parsed.response
@@ -520,7 +575,7 @@ class LoadGenerator:
         base_url = DeltaServer.base_file_url(server, class_id, version)
         request = Request(url=base_url, cookies={"uid": user}, client_id=user)
         try:
-            parsed = await self._roundtrip(conn, request, report)
+            parsed = await self._roundtrip_retrying(conn, request, report)
         except (asyncio.TimeoutError, ProtocolError, ConnectionError, OSError):
             report.errors += 1
             conn.alive = False

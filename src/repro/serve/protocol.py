@@ -72,6 +72,16 @@ class ProtocolError(Exception):
         self.status = status
 
 
+class ConnectionClosedError(ProtocolError):
+    """The peer vanished mid-exchange (reset, or close at a message edge).
+
+    A distinct subclass because the two failures mean different things to
+    a client: malformed framing is a bug, but a dropped connection is the
+    expected transport signature of a server restart — retryable the same
+    way a 503 is.
+    """
+
+
 @dataclass(slots=True)
 class ParsedRequest:
     """One inbound request plus its connection semantics."""
@@ -113,7 +123,9 @@ class _CountingReader:
         try:
             data = await self._reader.readexactly(n)
         except asyncio.IncompleteReadError as exc:
-            raise ProtocolError("connection closed inside message body") from exc
+            raise ConnectionClosedError(
+                "connection closed inside message body"
+            ) from exc
         self.bytes_read += len(data)
         return data
 
@@ -166,7 +178,7 @@ async def _read_headers(reader: _CountingReader) -> Headers:
         if line in (b"\r\n", b"\n"):
             return headers
         if not line:
-            raise ProtocolError("connection closed inside headers")
+            raise ConnectionClosedError("connection closed inside headers")
         count += 1
         if count > MAX_HEADER_COUNT:
             raise ProtocolError("too many header lines")
@@ -182,7 +194,7 @@ async def _read_chunked(reader: _CountingReader) -> bytes:
     while True:
         line = await reader.readline()
         if not line:
-            raise ProtocolError("connection closed inside chunked body")
+            raise ConnectionClosedError("connection closed inside chunked body")
         size_token = line.strip().split(b";", 1)[0]
         try:
             size = int(size_token, 16)
@@ -319,7 +331,7 @@ async def read_response(reader: asyncio.StreamReader) -> ParsedResponse:
     counting = _CountingReader(reader)
     line = await counting.readline()
     if not line:
-        raise ProtocolError("connection closed before status line")
+        raise ConnectionClosedError("connection closed before status line")
     text = line.decode("latin-1").strip()
     parts = text.split(None, 2)
     if len(parts) < 2 or not parts[0].startswith("HTTP/1."):

@@ -47,12 +47,21 @@ import itertools
 import json
 import logging
 import random
+import socket
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import DeltaServerConfig
 from repro.core.delta_server import DeltaServer
+from repro.fleet.partition import worker_class_prefix
+from repro.fleet.router import (
+    HEADER_FLEET_FORWARDED,
+    HEADER_FLEET_WORKER,
+    FleetRouter,
+    FleetWorkerConfig,
+    PeerUnavailable,
+)
 from repro.http.messages import (
     HEADER_DEGRADED,
     HEADER_IF_NONE_MATCH,
@@ -119,6 +128,9 @@ class DeltaHTTPServer:
         resilience: ResilientOrigin | None = None,
         clock: Callable[[], float] | None = None,
         metrics: MetricsRegistry | None = None,
+        reuse_port: bool = False,
+        listen_sock: socket.socket | None = None,
+        router: FleetRouter | None = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -156,6 +168,14 @@ class DeltaHTTPServer:
         self._tasks: set[asyncio.Task] = set()
         self._server: asyncio.base_events.Server | None = None
         self._closing = False
+        self._closed = False
+        # -- fleet wiring (all optional; single-process serving unchanged) --
+        self._reuse_port = reuse_port
+        self._listen_sock = listen_sock
+        self.router = router
+        self._internal_server: asyncio.base_events.Server | None = None
+        #: populated by close(): {"in_flight", "cancelled", "seconds"}
+        self.drain_report: dict | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -171,9 +191,34 @@ class DeltaHTTPServer:
         return self.address[1]
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._client_connected, self._host, self._port
-        )
+        if self._listen_sock is not None:
+            # Fleet parent-acceptor mode: accept from the supervisor's
+            # inherited listening socket (shared across every worker).
+            self._server = await asyncio.start_server(
+                self._client_connected, sock=self._listen_sock
+            )
+        elif self._reuse_port:
+            # Fleet SO_REUSEPORT mode: every worker binds the same
+            # address; the kernel spreads incoming connections.
+            self._server = await asyncio.start_server(
+                self._client_connected,
+                self._host,
+                self._port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._client_connected, self._host, self._port
+            )
+        if self.router is not None:
+            # Loopback peer port: forwarded intra-fleet requests and the
+            # supervisor's health/metrics scrapes arrive here, through
+            # the identical connection handler (slots, stats, timeouts).
+            self._internal_server = await asyncio.start_server(
+                self._client_connected,
+                "127.0.0.1",
+                self.router.config.internal_port,
+            )
         self.stats.started_at = self.clock()
 
     async def serve_forever(self) -> None:
@@ -184,23 +229,47 @@ class DeltaHTTPServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, then cancel."""
+        """Graceful drain: stop accepting, finish in-flight, then cancel.
+
+        Idempotent — a signal-driven drain racing the ``async with``
+        exit path must not double-drain or double-close the store.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._closing = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        drain_started = self.clock()
+        in_flight = len(self._tasks)
+        cancelled = 0
+        for server in (self._server, self._internal_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        if self.router is not None:
+            # Drop parked peer-pool connections first: a peer draining in
+            # parallel counts our idle keep-alives as its in-flight work,
+            # and two workers waiting on each other's parked connections
+            # would both burn the full drain timeout.
+            await self.router.close()
         if self._tasks:
             _, pending = await asyncio.wait(
                 set(self._tasks), timeout=self._drain_timeout
             )
+            cancelled = len(pending)
             for task in pending:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         self._executor.shutdown()
         if self.engine is not None:
-            # Flush + close the persistent store (no-op without one).
+            # Flush + close the persistent store (no-op without one;
+            # engine.close() is itself idempotent).
             self.engine.close()
+        self.drain_report = {
+            "in_flight": in_flight,
+            "cancelled": cancelled,
+            "seconds": round(self.clock() - drain_started, 4),
+        }
 
     async def __aenter__(self) -> "DeltaHTTPServer":
         await self.start()
@@ -257,11 +326,14 @@ class DeltaHTTPServer:
                 return
             except ProtocolError as exc:
                 self.stats.protocol_errors += 1
-                await self._write(
-                    writer,
-                    Response(status=exc.status, body=str(exc).encode()),
-                    keep_alive=False,
-                )
+                # The peer may already be gone (half-closed socket mid
+                # error) — failing to deliver the 400 is not an event.
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._write(
+                        writer,
+                        Response(status=exc.status, body=str(exc).encode()),
+                        keep_alive=False,
+                    )
                 return
             if parsed is None:
                 return  # clean EOF
@@ -323,6 +395,33 @@ class DeltaHTTPServer:
     async def _dispatch(self, request: Request) -> Response:
         now = self.clock()
         _, remainder = split_server(request.url)
+        if (
+            self.router is not None
+            and remainder not in (HEALTH_PATH, METRICS_PATH)
+            and not request.headers.get(HEADER_FLEET_FORWARDED)
+        ):
+            owner = self.router.owner_for_url(request.url)
+            if owner != self.router.worker_id:
+                try:
+                    # Returned verbatim: the owner already stamped
+                    # Server/X-Served-At/digest headers; re-stamping here
+                    # would break client-side byte verification.
+                    return await self.router.forward(owner, request)
+                except PeerUnavailable:
+                    # Same retryable contract as slot exhaustion; the
+                    # owner is mid-restart and will be back shortly.
+                    response = Response(
+                        status=503, body=b"fleet peer unavailable"
+                    )
+                    response.headers.set(
+                        HEADER_FLEET_WORKER, str(self.router.worker_id)
+                    )
+                    return response
+            self.router.note_local(request)
+        elif self.router is not None and request.headers.get(
+            HEADER_FLEET_FORWARDED
+        ):
+            self.router.note_local(request)
         if remainder == HEALTH_PATH:
             response = self._health_response()
         elif remainder == METRICS_PATH:
@@ -339,6 +438,10 @@ class DeltaHTTPServer:
             response = await self._executor.run(self.engine.handle, request, now)
         response.headers.set("Server", SERVER_SOFTWARE)
         response.headers.set(HEADER_SERVED_AT, f"{now:.6f}")
+        if self.router is not None:
+            response.headers.set(
+                HEADER_FLEET_WORKER, str(self.router.worker_id)
+            )
         if not response.is_delta:
             # Deltas carry their target checksum in the wire payload; every
             # other body gets an integrity tag so clients can verify
@@ -396,6 +499,7 @@ class DeltaHTTPServer:
                 self.resilience.snapshot() if self.resilience is not None else None
             ),
             "engine": engine_health,
+            "fleet": self.router.snapshot() if self.router is not None else None,
         }
         response = Response(
             status=200, body=json.dumps(payload, sort_keys=True).encode()
@@ -472,6 +576,18 @@ class DeltaHTTPServer:
                     full = f"repro_store_{name}"
                     extra.append(f"# TYPE {full} gauge")
                     extra.append(f"{full} {value}")
+        if self.router is not None:
+            fleet = self.router.snapshot()
+            fleet_counters = [
+                ("local_served", fleet["local_served"]),
+                ("served_for_peers", fleet["served_for_peers"]),
+                ("forwarded", fleet["forwarded"]),
+                ("forward_failures", fleet["forward_failures"]),
+            ]
+            for name, value in fleet_counters:
+                full = f"repro_fleet_{name}_total"
+                extra.append(f"# TYPE {full} counter")
+                extra.append(f"{full} {value}")
         gw = self.gateway.stats
         gateway_counters = [
             ("fetches", gw.fetches),
@@ -534,6 +650,7 @@ def build_server(
     executor_workers: int | None = None,
     state_dir: str | Path | None = None,
     snapshot_every: int | None = None,
+    fleet: FleetWorkerConfig | None = None,
     **server_kwargs: object,
 ) -> DeltaHTTPServer:
     """Assemble the full live stack for a set of synthetic sites.
@@ -573,10 +690,13 @@ def build_server(
     )
     origin_fetch = resilient.fetch_sync if resilient is not None else gateway.fetch_sync
     engine = None
+    router = None
     if mode == "delta":
         rulebook = RuleBook()
         for site in site_list:
             rulebook.add_rule(site.spec.name, site.hint_rule_pattern())
+        if fleet is not None:
+            router = FleetRouter(fleet, rulebook)
         store_hooks = None
         if state_dir is not None:
             from repro.store import (
@@ -594,6 +714,11 @@ def build_server(
         engine = DeltaServer(
             origin_fetch, config, rulebook, metrics=registry,
             store_hooks=store_hooks,
+            # Fleet workers mint ids under w<k>- so base-file URLs route
+            # back to the worker that owns the class (and its shard).
+            class_id_prefix=(
+                worker_class_prefix(fleet.worker_id) if fleet is not None else ""
+            ),
         )
     executor = DeltaExecutor(executor_kind, max_workers=executor_workers)
     return DeltaHTTPServer(
@@ -603,5 +728,6 @@ def build_server(
         executor=executor,
         resilience=resilient,
         metrics=registry,
+        router=router,
         **server_kwargs,  # type: ignore[arg-type]
     )

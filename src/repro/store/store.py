@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -178,6 +179,7 @@ class Store:
         self.stats = StoreStats()
         self._fsync = fsync
         self._lock = threading.RLock()
+        self._closed = False
         self._classes: dict[str, ClassState] = {}
         self._live_bytes = 0
         #: last committed document per class, kept so the next commit can
@@ -831,15 +833,23 @@ class Store:
             self._journal.sync()
 
     def close(self) -> None:
+        """Close pack and journal; idempotent (drain paths may double-close)."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             self._pack.close()
             self._journal.close()
 
 
 def _class_sort(class_id: str) -> tuple[int, str]:
-    """Numeric-aware ordering so ``cls10`` sorts after ``cls9``."""
-    digits = "".join(ch for ch in class_id if ch.isdigit())
-    return (int(digits) if digits else 0, class_id)
+    """Numeric-aware ordering so ``cls10`` sorts after ``cls9``.
+
+    Only the trailing digit run counts, so fleet-prefixed ids
+    (``w3-cls12``) order by their counter, not by ``312``.
+    """
+    match = re.search(r"(\d+)$", class_id)
+    return (int(match.group(1)) if match else 0, class_id)
 
 
 def _frame_valid(pack_data: bytes, offset: int, length: int) -> bool:

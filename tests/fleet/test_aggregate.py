@@ -1,0 +1,86 @@
+"""Tests for fleet metrics aggregation (repro.fleet.aggregate)."""
+
+import sys
+from pathlib import Path
+
+from repro.fleet.aggregate import merge_expositions, relabel_exposition
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+from check_prometheus_exposition import check as check_exposition  # noqa: E402
+
+
+WORKER_TEXT = """\
+# HELP repro_requests_total requests handled
+# TYPE repro_requests_total counter
+repro_requests_total 42
+# TYPE repro_status_total counter
+repro_status_total{status="200"} 40
+repro_status_total{status="503"} 2
+# TYPE repro_stage_seconds histogram
+repro_stage_seconds_bucket{stage="encode",le="0.1"} 3
+repro_stage_seconds_bucket{stage="encode",le="+Inf"} 5
+repro_stage_seconds_sum{stage="encode"} 0.4
+repro_stage_seconds_count{stage="encode"} 5
+"""
+
+
+class TestRelabel:
+    def test_bare_sample_gets_label(self):
+        out = relabel_exposition("repro_x 1", 3)
+        assert out == 'repro_x{worker="3"} 1'
+
+    def test_labeled_sample_appends(self):
+        out = relabel_exposition('repro_x{a="b"} 1', 0)
+        assert out == 'repro_x{a="b",worker="0"} 1'
+
+    def test_trailing_comma_handled(self):
+        out = relabel_exposition('repro_x{a="b",} 1', 0)
+        assert out == 'repro_x{a="b",worker="0"} 1'
+
+    def test_comments_and_blanks_untouched(self):
+        text = "# TYPE repro_x counter\n\nrepro_x 1"
+        out = relabel_exposition(text, 1)
+        lines = out.splitlines()
+        assert lines[0] == "# TYPE repro_x counter"
+        assert lines[1] == ""
+        assert lines[2] == 'repro_x{worker="1"} 1'
+
+    def test_label_value_containing_brace(self):
+        # Values may contain "}"; the split is at the *last* brace.
+        out = relabel_exposition('repro_x{path="/a}b"} 1', 2)
+        assert out == 'repro_x{path="/a}b",worker="2"} 1'
+
+
+class TestMerge:
+    def test_dedupes_help_and_type(self):
+        merged = merge_expositions({0: WORKER_TEXT, 1: WORKER_TEXT})
+        lines = merged.splitlines()
+        assert lines.count("# TYPE repro_requests_total counter") == 1
+        assert lines.count("# HELP repro_requests_total requests handled") == 1
+        assert 'repro_requests_total{worker="0"} 42' in lines
+        assert 'repro_requests_total{worker="1"} 42' in lines
+
+    def test_extra_lines_appended(self):
+        merged = merge_expositions({0: "repro_x 1"}, "repro_fleet_workers 2")
+        assert merged.splitlines()[-1] == "repro_fleet_workers 2"
+
+    def test_missing_workers_are_absent_not_fatal(self):
+        merged = merge_expositions({1: "repro_x 1"})
+        assert 'repro_x{worker="1"} 1' in merged
+        assert 'worker="0"' not in merged
+
+    def test_merged_exposition_is_valid(self):
+        # The CI gate: the merged text — interleaved worker blocks,
+        # deduped TYPE lines, per-worker histogram series — must pass
+        # the repo's exposition checker.
+        extra = "\n".join(
+            [
+                "# TYPE repro_fleet_workers gauge",
+                "repro_fleet_workers 2",
+                "# TYPE repro_fleet_worker_up gauge",
+                'repro_fleet_worker_up{worker="0"} 1',
+                'repro_fleet_worker_up{worker="1"} 1',
+            ]
+        )
+        merged = merge_expositions({0: WORKER_TEXT, 1: WORKER_TEXT}, extra)
+        assert check_exposition(merged) == []

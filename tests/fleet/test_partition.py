@@ -1,0 +1,91 @@
+"""Tests for the fleet partition map (repro.fleet.partition)."""
+
+import pytest
+
+from repro.fleet.partition import (
+    DEFAULT_VNODES,
+    PartitionMap,
+    owner_of_class_id,
+    worker_class_prefix,
+)
+
+
+def many_keys(count: int = 1000) -> list[tuple[str, str]]:
+    return [
+        (f"www.site-{i % 7}.example", f"/app/page-{i}?id={i}")
+        for i in range(count)
+    ]
+
+
+class TestClassIdPrefix:
+    def test_prefix_round_trips(self):
+        for worker in (0, 1, 7, 42):
+            class_id = f"{worker_class_prefix(worker)}cls9"
+            assert owner_of_class_id(class_id) == worker
+
+    def test_unprefixed_ids_have_no_owner(self):
+        # Single-process engines mint bare ids; the router serves those
+        # locally rather than guessing an owner.
+        assert owner_of_class_id("cls3") is None
+        assert owner_of_class_id("weird-cls3") is None
+        assert owner_of_class_id("") is None
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError):
+            worker_class_prefix(-1)
+
+
+class TestPartitionMap:
+    def test_deterministic_across_instances(self):
+        # Two independently constructed maps (two worker processes)
+        # must derive the identical assignment — no map exchange.
+        first = PartitionMap(4)
+        second = PartitionMap(4)
+        for server, hint in many_keys(200):
+            assert first.owner(server, hint) == second.owner(server, hint)
+
+    def test_owner_in_range(self):
+        part = PartitionMap(3)
+        for server, hint in many_keys(300):
+            assert 0 <= part.owner(server, hint) < 3
+
+    def test_single_worker_owns_everything(self):
+        part = PartitionMap(1)
+        assert part.spread(many_keys(100)) == {0: 100}
+
+    def test_balance(self):
+        # 64 vnodes/worker keeps the imbalance modest: no worker gets
+        # less than half or more than double its fair share.
+        keys = many_keys(2000)
+        for workers in (2, 3, 4):
+            fair = len(keys) / workers
+            spread = PartitionMap(workers).spread(keys)
+            assert set(spread) == set(range(workers))
+            for count in spread.values():
+                assert fair / 2 <= count <= fair * 2, spread
+
+    def test_resize_moves_few_keys(self):
+        # The consistent-hashing property: growing the fleet N → N+1
+        # remaps roughly 1/(N+1) of the keys, not almost all of them.
+        keys = many_keys(2000)
+        before = PartitionMap(3)
+        after = PartitionMap(4)
+        moved = sum(
+            1 for server, hint in keys
+            if before.owner(server, hint) != after.owner(server, hint)
+        )
+        assert moved / len(keys) < 0.5, f"{moved}/{len(keys)} keys moved"
+        # Sanity: something moved (the new worker owns a share).
+        assert moved > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMap(0)
+        with pytest.raises(ValueError):
+            PartitionMap(2, vnodes=0)
+
+    def test_snapshot(self):
+        assert PartitionMap(2).snapshot() == {
+            "workers": 2,
+            "vnodes": DEFAULT_VNODES,
+        }

@@ -1,5 +1,7 @@
 """Tests for the origin circuit breaker (repro.resilience.breaker)."""
 
+import threading
+
 import pytest
 
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
@@ -154,6 +156,76 @@ class TestHalfOpen:
         # A fresh cooldown is required before probing again.
         clock.advance(2.0)
         assert breaker.allow()
+
+    def test_concurrent_probes_respect_budget(self):
+        """Many threads race ``allow()`` in half-open: exactly ``probes``
+        win a slot; every loser is a fast-fail.  This is the live
+        server's shape — executor worker threads hit the breaker
+        together the moment the cooldown lapses."""
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        trip(breaker)
+        clock.advance(2.0)
+
+        contenders = 16
+        outcomes = [None] * contenders
+        barrier = threading.Barrier(contenders)
+
+        def contend(i: int) -> None:
+            barrier.wait()
+            outcomes[i] = breaker.allow()
+
+        threads = [
+            threading.Thread(target=contend, args=(i,))
+            for i in range(contenders)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == 2  # exactly the probe budget admitted
+        assert breaker.stats.fast_fails == contenders - 2
+        assert breaker.state == HALF_OPEN
+
+    def test_concurrent_probe_successes_close_once(self):
+        """Probe winners reporting success from separate threads close
+        the breaker exactly once (no double-reclose, window cleared)."""
+        clock = FakeClock()
+        breaker = make(clock, probes=3)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow() and breaker.allow() and breaker.allow()
+
+        barrier = threading.Barrier(3)
+
+        def succeed() -> None:
+            barrier.wait()
+            breaker.record_success()
+
+        threads = [threading.Thread(target=succeed) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.state == CLOSED
+        assert breaker.stats.reclosed == 1
+        assert breaker.failure_rate() == 0.0
+
+    def test_probe_failure_reopens_and_denies_other_probe(self):
+        """One probe fails while another is still in flight: the breaker
+        reopens immediately and the straggler cannot admit new calls."""
+        clock = FakeClock()
+        breaker = make(clock, probes=2)
+        trip(breaker)
+        clock.advance(2.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_failure()  # first probe comes back bad
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # fresh calls are denied
+        # The straggler's success is just an outcome counter now; the
+        # reopened cooldown stands.
+        breaker.record_success()
+        assert breaker.state == OPEN
 
     def test_full_cycle_snapshot(self):
         clock = FakeClock()

@@ -1,0 +1,179 @@
+"""Loadgen transport-level retries: resets and refusals are retryable.
+
+A SIGKILLed fleet worker looks like a dropped TCP connection, not a 503.
+The load generator classifies those transport failures — connection
+closed before/inside a response, reset, refused reconnect — as
+retryable alongside 502/503/504, counted under the ``"reset"`` key of
+``retries_by_status``.  Framing errors stay fatal: a malformed response
+is a bug, not a restart signature.
+"""
+
+import asyncio
+
+from repro.http.messages import Response
+from repro.serve.loadgen import RETRY_TRANSPORT, LoadGenConfig, LoadGenerator
+from repro.serve.protocol import (
+    HEADER_BODY_DIGEST,
+    HEADER_SERVED_AT,
+    body_digest,
+    read_request,
+    serialize_response,
+)
+from repro.workload.trace import Trace, TraceRecord
+
+BODY = b"<html>" + b"static fleet test page " * 40 + b"</html>"
+
+
+def make_trace(requests: int) -> Trace:
+    return Trace(
+        name="retries",
+        records=[
+            TraceRecord(timestamp=float(i), user="u1", url="www.flaky.example/page")
+            for i in range(requests)
+        ],
+    )
+
+
+class FlakyServer:
+    """Accepts connections; sabotages the first few in a scripted way.
+
+    ``plan`` is a list of behaviours consumed one per accepted
+    connection: ``"close"`` drops the socket before any response bytes,
+    ``"midbody"`` sends half a response then drops, ``"garbage"`` sends
+    unparseable bytes, and ``"serve"`` (the steady state once the plan
+    is exhausted) answers every request with a digest-tagged 200.
+    """
+
+    def __init__(self, plan: list[str]):
+        self.plan = list(plan)
+        self.accepted = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _response_bytes(self) -> bytes:
+        response = Response(status=200, body=BODY)
+        response.headers.set(HEADER_BODY_DIGEST, body_digest(BODY))
+        response.headers.set(HEADER_SERVED_AT, "0.0")
+        return serialize_response(response, keep_alive=True)
+
+    async def _handle(self, reader, writer):
+        self.accepted += 1
+        behaviour = self.plan.pop(0) if self.plan else "serve"
+        try:
+            if behaviour == "close":
+                return
+            if behaviour == "garbage":
+                await read_request(reader)
+                writer.write(b"NOT HTTP AT ALL\r\n\r\n")
+                await writer.drain()
+                return
+            if behaviour == "midbody":
+                await read_request(reader)
+                writer.write(self._response_bytes()[: len(BODY) // 2])
+                await writer.drain()
+                return
+            while True:
+                parsed = await read_request(reader)
+                if parsed is None:
+                    return
+                writer.write(self._response_bytes())
+                await writer.drain()
+                if not parsed.keep_alive:
+                    return
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+def run_against(plan: list[str], requests: int = 5, **config):
+    async def main():
+        server = FlakyServer(plan)
+        host, port = await server.start()
+        defaults = dict(
+            host=host,
+            port=port,
+            concurrency=1,
+            retries=3,
+            retry_backoff=0.01,
+            retry_backoff_cap=0.05,
+        )
+        defaults.update(config)
+        try:
+            return await LoadGenerator(LoadGenConfig(**defaults)).run(
+                make_trace(requests)
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestTransportRetries:
+    def test_close_before_response_is_retried(self):
+        report = run_against(["close", "close"])
+        assert report.completed == 5
+        assert report.errors == 0
+        assert report.verify_failures == 0
+        assert report.retries_by_status[RETRY_TRANSPORT] >= 2
+
+    def test_close_mid_body_is_retried(self):
+        report = run_against(["midbody"], requests=4)
+        assert report.completed == 4
+        assert report.errors == 0
+        assert report.retries_by_status[RETRY_TRANSPORT] >= 1
+
+    def test_exhausted_retries_surface_as_errors(self):
+        # Every connection dies: the budget runs out and the request is
+        # an error — never an unhandled exception out of run().
+        report = run_against(["close"] * 50, requests=2, retries=2)
+        assert report.completed == 0
+        assert report.errors == 2
+        assert report.retries_by_status[RETRY_TRANSPORT] > 0
+
+    def test_refused_connect_is_retried_then_errors(self):
+        async def main():
+            # Allocate a port with no listener: connects are refused.
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+            generator = LoadGenerator(
+                LoadGenConfig(
+                    host=host,
+                    port=port,
+                    concurrency=1,
+                    retries=2,
+                    retry_backoff=0.01,
+                    retry_backoff_cap=0.02,
+                )
+            )
+            return await generator.run(make_trace(1))
+
+        report = asyncio.run(main())
+        assert report.completed == 0
+        assert report.errors == 1
+        assert report.retries_by_status[RETRY_TRANSPORT] == 2
+
+    def test_framing_garbage_is_not_retried(self):
+        # A malformed response is a bug: the request fails without
+        # consuming transport retries.
+        report = run_against(["garbage"], requests=3)
+        assert report.errors == 1
+        assert report.completed == 2
+        assert report.retries_by_status.get(RETRY_TRANSPORT, 0) == 0
+
+    def test_render_mixes_status_and_transport_keys(self):
+        report = run_against(["close"])
+        report.retries_by_status[503] += 1  # as after a worker restart
+        text = report.render()
+        assert "reset" in text and "503" in text
