@@ -1,0 +1,289 @@
+"""Frozen pre-streaming-kernel delta encoder — the bench baseline.
+
+This is a verbatim snapshot of the encode path as it stood before the
+zero-copy streaming kernel rewrite: per-position ``bytes``-keyed chunk
+hashing, a ``candidates[-max_candidates:]`` list copy per probe,
+slice-allocating match extension, an intermediate ``list[Instruction]``,
+separate ``coalesce``/``optimize_runs`` passes, and a final serialization
+pass over the instruction objects.
+
+``bench_delta_kernels.py`` times this baseline against the live kernel and
+asserts the two produce *byte-identical* wire output — the rewrite is a
+mechanical-sympathy change, never a format or match-quality change.  Keep
+this file frozen; it is the measuring stick, not production code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.delta.instructions import Add, Copy, Instruction, Run
+
+_DEFAULT_MAX_CHAIN = 64
+_GOOD_ENOUGH_MATCH = 2048
+
+MAGIC = b"CBD1"
+_OP_ADD = 0x00
+_OP_COPY = 0x01
+_OP_RUN = 0x02
+MIN_RUN = 24
+
+
+def _write_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _target_length(instructions: Iterable[Instruction]) -> int:
+    total = 0
+    for instr in instructions:
+        if isinstance(instr, Copy):
+            total += instr.length
+        elif isinstance(instr, Run):
+            total += instr.length
+        else:
+            total += len(instr.data)
+    return total
+
+
+def legacy_encode_delta(
+    instructions: list[Instruction], base_length: int, target_checksum: int
+) -> bytes:
+    """The pre-rewrite serializer: one pass over instruction objects."""
+    out = bytearray(MAGIC)
+    _write_varint(_target_length(instructions), out)
+    _write_varint(base_length, out)
+    out += target_checksum.to_bytes(4, "big")
+    for instr in instructions:
+        if isinstance(instr, Add):
+            out.append(_OP_ADD)
+            _write_varint(len(instr.data), out)
+            out += instr.data
+        elif isinstance(instr, Run):
+            out.append(_OP_RUN)
+            out.append(instr.byte)
+            _write_varint(instr.length, out)
+        else:
+            out.append(_OP_COPY)
+            _write_varint(instr.offset, out)
+            _write_varint(instr.length, out)
+    return bytes(out)
+
+
+def _coalesce(instructions: Iterable[Instruction]) -> Iterator[Instruction]:
+    pending: Instruction | None = None
+    for instr in instructions:
+        if pending is None:
+            pending = instr
+            continue
+        if isinstance(pending, Add) and isinstance(instr, Add):
+            pending = Add(pending.data + instr.data)
+        elif (
+            isinstance(pending, Copy)
+            and isinstance(instr, Copy)
+            and pending.offset + pending.length == instr.offset
+        ):
+            pending = Copy(pending.offset, pending.length + instr.length)
+        elif (
+            isinstance(pending, Run)
+            and isinstance(instr, Run)
+            and pending.byte == instr.byte
+        ):
+            pending = Run(pending.byte, pending.length + instr.length)
+        else:
+            yield pending
+            pending = instr
+    if pending is not None:
+        yield pending
+
+
+def _optimize_runs(
+    instructions: Iterable[Instruction], min_run: int = MIN_RUN
+) -> Iterator[Instruction]:
+    """Pre-rewrite per-byte run extraction."""
+    for instr in instructions:
+        if not isinstance(instr, Add) or len(instr.data) < min_run:
+            yield instr
+            continue
+        data = instr.data
+        start = 0
+        i = 0
+        n = len(data)
+        while i < n:
+            j = i + 1
+            while j < n and data[j] == data[i]:
+                j += 1
+            if j - i >= min_run:
+                if i > start:
+                    yield Add(data[start:i])
+                yield Run(data[i], j - i)
+                start = j
+            i = j
+        if start < n:
+            yield Add(data[start:])
+
+
+def _extend_match(
+    base: bytes, target: bytes, cand: int, pos: int, start: int, max_len: int
+) -> int:
+    length = start
+    step = 16
+    while length < max_len:
+        window = min(step, max_len - length)
+        if (
+            base[cand + length : cand + length + window]
+            == target[pos + length : pos + length + window]
+        ):
+            length += window
+            step = min(step * 4, 16384)
+            continue
+        lo, hi = 0, window
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if (
+                base[cand + length : cand + length + mid]
+                == target[pos + length : pos + length + mid]
+            ):
+                lo = mid
+            else:
+                hi = mid - 1
+        length += lo
+        break
+    return length
+
+
+class LegacyBaseIndex:
+    """Pre-rewrite index: position chains keyed by 4-byte ``bytes`` slices."""
+
+    __slots__ = ("base", "chunk_size", "step", "_table", "max_chain")
+
+    def __init__(
+        self,
+        base: bytes,
+        chunk_size: int = 4,
+        step: int = 1,
+        max_chain: int = _DEFAULT_MAX_CHAIN,
+    ) -> None:
+        self.base = base
+        self.chunk_size = chunk_size
+        self.step = step
+        self.max_chain = max_chain
+        table: dict[bytes, list[int]] = {}
+        for pos in range(0, len(base) - chunk_size + 1, step):
+            key = base[pos : pos + chunk_size]
+            chain = table.setdefault(key, [])
+            if len(chain) < max_chain:
+                chain.append(pos)
+        self._table = table
+
+    def candidates(self, key: bytes) -> list[int]:
+        return self._table.get(key, [])
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+@dataclass(slots=True)
+class LegacyVdeltaEncoder:
+    """Pre-rewrite greedy scan producing an intermediate instruction list."""
+
+    chunk_size: int = 4
+    min_match: int = 8
+    backward: bool = True
+    step: int = 1
+    max_candidates: int = 8
+    max_chain: int = field(default=_DEFAULT_MAX_CHAIN)
+
+    def index(self, base: bytes) -> LegacyBaseIndex:
+        return LegacyBaseIndex(
+            base, chunk_size=self.chunk_size, step=self.step, max_chain=self.max_chain
+        )
+
+    def encode_instructions(
+        self, index: LegacyBaseIndex, target: bytes
+    ) -> list[Instruction]:
+        base = index.base
+        chunk = self.chunk_size
+        out: list[Instruction] = []
+        literal_start = 0
+        pos = 0
+        n = len(target)
+
+        while pos + chunk <= n:
+            key = target[pos : pos + chunk]
+            candidates = index.candidates(key)
+            if not candidates:
+                pos += 1
+                continue
+            best_off, best_len = self._best_match(base, target, pos, candidates)
+            if best_len < self.min_match:
+                pos += 1
+                continue
+            if self.backward:
+                back = self._extend_backward(
+                    base, target, best_off, pos, literal_start
+                )
+                best_off -= back
+                pos -= back
+                best_len += back
+            if pos > literal_start:
+                out.append(Add(target[literal_start:pos]))
+            out.append(Copy(best_off, best_len))
+            pos += best_len
+            literal_start = pos
+
+        if literal_start < n:
+            out.append(Add(target[literal_start:]))
+
+        return list(_optimize_runs(_coalesce(out)))
+
+    def encode_wire(
+        self, index: LegacyBaseIndex, target: bytes, target_checksum: int
+    ) -> bytes:
+        """The pre-rewrite server hot path: scan, then serialize."""
+        instructions = self.encode_instructions(index, target)
+        return legacy_encode_delta(instructions, len(index.base), target_checksum)
+
+    def _best_match(
+        self, base: bytes, target: bytes, pos: int, candidates: list[int]
+    ) -> tuple[int, int]:
+        best_off = -1
+        best_len = 0
+        n_base = len(base)
+        n_target = len(target)
+        chunk = self.chunk_size
+        probe_len = min(max(chunk, self.min_match), n_target - pos)
+        probe = target[pos : pos + probe_len]
+        for cand in reversed(candidates[-self.max_candidates :]):
+            if base[cand : cand + probe_len] != probe:
+                continue
+            max_len = min(n_base - cand, n_target - pos)
+            length = _extend_match(base, target, cand, pos, probe_len, max_len)
+            if length > best_len:
+                best_len = length
+                best_off = cand
+                if best_len >= _GOOD_ENOUGH_MATCH:
+                    break
+        return best_off, best_len
+
+    @staticmethod
+    def _extend_backward(
+        base: bytes, target: bytes, base_off: int, target_pos: int, literal_start: int
+    ) -> int:
+        back = 0
+        while (
+            base_off - back > 0
+            and target_pos - back > literal_start
+            and base[base_off - back - 1] == target[target_pos - back - 1]
+        ):
+            back += 1
+        return back

@@ -21,6 +21,7 @@ from typing import Callable
 import zlib
 
 from repro.delta.apply import apply_delta
+from repro.delta.codec import DEFAULT_MAX_TARGET_LENGTH
 from repro.delta.compress import decompress
 from repro.delta.errors import DeltaError
 from repro.http.cookies import CookieJar
@@ -134,7 +135,11 @@ class DeltaClient:
             payload = response.body
             if response.headers.get(HEADER_CONTENT_ENCODING) == "deflate":
                 payload = decompress(payload)
-            document = apply_delta(payload, base)
+            # The decode bound keeps a hostile/corrupt payload from forcing
+            # a giant reconstruction allocation on the client.
+            document = apply_delta(
+                payload, base, max_target_length=DEFAULT_MAX_TARGET_LENGTH
+            )
         except (DeltaError, zlib.error):
             # Corrupt payload or stale/corrupt base: drop the base and
             # refetch the full document — the paper's fallback path.

@@ -22,6 +22,7 @@ base-file can be used until the new one is properly anonymized".
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.anonymize import AnonymizationState, Anonymizer
@@ -41,6 +42,63 @@ class ClassStats:
     full_served: int = 0
     group_rebases: int = 0
     basic_rebases: int = 0
+
+
+class EncodeCache:
+    """Per-class LRU of encoded deltas keyed by (base version, target checksum).
+
+    Popular classes see the same (base, document) pair repeatedly — every
+    member URL rendering the same snapshot, every concurrent client holding
+    the current base — and the encode+compress is by far the most expensive
+    stage of such a request.  One entry memoizes the finished artifact:
+    ``(wire_size, compressed_payload)``.
+
+    Safety: a hit can never serve a stale delta.  Entries are keyed by the
+    base *version*, the engine's snapshot-encode-commit protocol revalidates
+    that exact version at commit time, and versions are never reused while
+    a class lives (the counter is monotonic; :meth:`DocumentClass.release_base`
+    keeps it, :meth:`DocumentClass.restore_base` — which may set an arbitrary
+    version — clears the cache).  The target checksum pins the document
+    bytes; base bytes for a version are pinned by the promotion-time
+    integrity checksum (corruption quarantines, which also clears).
+
+    The cache has its own lock so the engine's off-lock encode path can
+    consult it without touching the class lock.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock")
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], tuple[int, bytes]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, version: int, target_checksum: int) -> tuple[int, bytes] | None:
+        """Cached ``(wire_size, payload)`` for the pair, refreshing recency."""
+        key = (version, target_checksum)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(
+        self, version: int, target_checksum: int, wire_size: int, payload: bytes
+    ) -> None:
+        key = (version, target_checksum)
+        with self._lock:
+            self._entries[key] = (wire_size, payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class DocumentClass:
@@ -101,6 +159,11 @@ class DocumentClass:
         self._full_index: BaseIndex | None = None
         self._light_index: BaseIndex | None = None
         self._raw_full_index: BaseIndex | None = None
+
+        # Finished (wire_size, compressed payload) artifacts per
+        # (base version, target checksum); see EncodeCache for why hits
+        # are safe across the engine's snapshot-encode-commit races.
+        self.encode_cache = EncodeCache()
 
     # -- membership ----------------------------------------------------------
 
@@ -253,6 +316,7 @@ class DocumentClass:
         self._light_index = None
         self._raw_full_index = None
         self._checksum = None
+        self.encode_cache.clear()
         return freed
 
     def restore_base(self, document: bytes, version: int, doc_checksum: int) -> None:
@@ -280,6 +344,9 @@ class DocumentClass:
         self._full_index = None
         self._light_index = None
         self._raw_full_index = None
+        # The restored version number may collide with pre-restart cache
+        # entries for different base bytes; never let them be confused.
+        self.encode_cache.clear()
 
     @property
     def distributable_checksum(self) -> int | None:

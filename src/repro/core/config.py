@@ -15,6 +15,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.delta.codec import DEFAULT_MAX_TARGET_LENGTH
+
 
 class EvictionVariant(enum.Enum):
     """Eviction options for the randomized base-file algorithm (Sec. IV fn. 3)."""
@@ -129,6 +131,11 @@ class DeltaServerConfig:
     #: Documents smaller than this are served directly; the delta machinery
     #: is not worth its overhead on tiny responses.
     min_document_bytes: int = 256
+    #: Documents larger than this are served directly too — it bounds what
+    #: the engine will index/encode, and it is the decode-side
+    #: ``max_target_length`` bound clients and proxies enforce against
+    #: hostile payloads (see :data:`repro.delta.codec.DEFAULT_MAX_TARGET_LENGTH`).
+    max_document_bytes: int = DEFAULT_MAX_TARGET_LENGTH
     #: Hard server-side budget for base-file storage (None = unlimited).
     #: Under pressure, previous-generation bases are dropped first, then
     #: whole base-files of the coldest classes (see repro.core.storage).
@@ -152,4 +159,9 @@ class DeltaServerConfig:
         if self.commit_retries < 0:
             raise ValueError(
                 f"commit_retries must be >= 0, got {self.commit_retries}"
+            )
+        if self.max_document_bytes < self.min_document_bytes:
+            raise ValueError(
+                f"max_document_bytes ({self.max_document_bytes}) must be >= "
+                f"min_document_bytes ({self.min_document_bytes})"
             )

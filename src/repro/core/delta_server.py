@@ -64,6 +64,7 @@ import itertools
 import random
 import re
 import threading
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
 from time import perf_counter
@@ -76,8 +77,7 @@ from repro.core.counters import StripedCounters
 from repro.core.grouping import Grouper
 from repro.core.rebase import RebaseController
 from repro.core.storage import StorageManager
-from repro.delta.codec import checksum, encode_delta, encoded_size
-from repro.delta.compress import compress
+from repro.delta.codec import checksum
 from repro.delta.light import LightEstimator
 from repro.delta.vdelta import BaseIndex, VdeltaEncoder
 from repro.http.messages import (
@@ -218,6 +218,10 @@ class DeltaServer:
         self._rng = random.Random(self.config.seed)
         self._encoder = VdeltaEncoder()
         self._estimator = LightEstimator()
+        # One reusable wire buffer per thread: the streaming kernel clears
+        # and refills it, so steady-state encodes allocate nothing for
+        # wire bytes.  Thread-local because encodes run off-lock.
+        self._encode_buffers = threading.local()
         #: fleet workers mint ids under a ``w<k>-`` prefix so base-file
         #: URLs can be routed to the owning worker without a directory
         self._class_id_prefix = class_id_prefix
@@ -307,8 +311,11 @@ class DeltaServer:
             index = cls.exact_match_index()
         if index is None:
             return None
-        result = self._encoder.encode_with_index(index, document)
-        return encoded_size(result.instructions, len(index.base))
+        return len(
+            self._encoder.encode_wire_with_index(
+                index, document, out=self._encode_buffer()
+            )
+        )
 
     def _light_size(self, base: bytes, target: bytes) -> int:
         return self._estimator.estimate(base, target)
@@ -385,7 +392,12 @@ class DeltaServer:
         if (
             origin_response.status != 200
             or len(origin_response.body) < self.config.min_document_bytes
+            or len(origin_response.body) > self.config.max_document_bytes
         ):
+            # Out-of-bounds sizes pass straight through: tiny documents are
+            # not worth the delta machinery, oversized ones must not be
+            # indexed/encoded (and could never be decoded by clients, which
+            # enforce the same bound against hostile payloads).
             self._counters.inc("passthrough")
             return origin_response
 
@@ -653,22 +665,77 @@ class DeltaServer:
                 served_current=version == cls.version,
             )
 
+    def _encode_buffer(self) -> bytearray:
+        """This thread's reusable wire buffer (created on first use)."""
+        buffer = getattr(self._encode_buffers, "buffer", None)
+        if buffer is None:
+            buffer = self._encode_buffers.buffer = bytearray()
+            self.metrics.inc(
+                "delta_encode_buffer_allocs_total",
+                help="reusable wire-encode buffers allocated (one per thread)",
+            )
+        else:
+            self.metrics.inc(
+                "delta_encode_buffer_reuses_total",
+                help="wire encodes that reused a thread-local buffer",
+            )
+        return buffer
+
     def _encode_delta(
         self,
         cls: DocumentClass,
         plan: _DeltaPlan,
         document: bytes,
         timings: dict[str, float],
-    ) -> tuple[bytes, bytes] | None:
-        """Encode + compress against the snapshot, under no lock."""
+    ) -> tuple[int, bytes] | None:
+        """Encode + compress against the snapshot, under no lock.
+
+        Returns ``(wire_size, compressed_payload)``.  The streaming kernel
+        feeds wire bytes straight into a ``zlib`` compressor in ~64 KiB
+        chunks, so the uncompressed wire image is never materialized; the
+        finished artifact is memoized in the class's
+        :class:`~repro.core.classes.EncodeCache` keyed by (base version,
+        target checksum) — repeat requests for the same snapshot skip the
+        whole encode.
+        """
         started = perf_counter()
-        try:
-            result = self._encoder.encode_with_index(plan.index, document)
-            wire = encode_delta(
-                result.instructions, len(plan.index.base), checksum(document)
+        doc_checksum = checksum(document)
+        cached = cls.encode_cache.get(plan.version, doc_checksum)
+        if cached is not None:
+            self.metrics.inc(
+                "delta_encode_cache_hits_total",
+                help="delta encodes served from the per-class encode cache",
             )
-            encoded_at = perf_counter()
-            payload = compress(wire, self.config.compression_level)
+            timings["encode"] = timings.get("encode", 0.0) + (
+                perf_counter() - started
+            )
+            return cached
+        self.metrics.inc(
+            "delta_encode_cache_misses_total",
+            help="delta encodes that ran the streaming kernel",
+        )
+        compress_seconds = 0.0
+        try:
+            compressor = zlib.compressobj(self.config.compression_level)
+            parts: list[bytes] = []
+
+            def sink(chunk: bytearray) -> None:
+                nonlocal compress_seconds
+                entered = perf_counter()
+                parts.append(compressor.compress(chunk))
+                compress_seconds += perf_counter() - entered
+
+            wire_size = self._encoder.encode_stream_with_index(
+                plan.index,
+                document,
+                sink,
+                doc_checksum,
+                buffer=self._encode_buffer(),
+            )
+            entered = perf_counter()
+            parts.append(compressor.flush())
+            payload = b"".join(parts)
+            compress_seconds += perf_counter() - entered
         except Exception:
             # An encoder/codec fault costs this class its delta service
             # (one full response now, fresh base on the next good fetch),
@@ -676,17 +743,17 @@ class DeltaServer:
             with self._class_locked(cls, timings):
                 self._quarantine(cls, cause="encode")
             return None
-        timings["encode"] = timings.get("encode", 0.0) + (encoded_at - started)
-        timings["compress"] = timings.get("compress", 0.0) + (
-            perf_counter() - encoded_at
-        )
-        return wire, payload
+        total = perf_counter() - started
+        timings["encode"] = timings.get("encode", 0.0) + (total - compress_seconds)
+        timings["compress"] = timings.get("compress", 0.0) + compress_seconds
+        cls.encode_cache.put(plan.version, doc_checksum, wire_size, payload)
+        return wire_size, payload
 
     def _commit_delta(
         self,
         cls: DocumentClass,
         plan: _DeltaPlan,
-        encoded: tuple[bytes, bytes],
+        encoded: tuple[int, bytes],
         document: bytes,
         timings: dict[str, float],
     ) -> tuple[str, Response | None]:
@@ -697,7 +764,7 @@ class DeltaServer:
         quarantine, or storage release retired the snapshotted version
         while the encode ran off-lock.
         """
-        wire, payload = encoded
+        wire_size, payload = encoded
         with self._class_locked(cls, timings):
             if plan.served_current:
                 valid = cls.version == plan.version and cls.can_serve_deltas
@@ -710,7 +777,7 @@ class DeltaServer:
             if not valid:
                 return "conflict", None
             controller = self._controllers[cls.class_id]
-            controller.note_delta(len(wire), len(document))
+            controller.note_delta(wire_size, len(document))
             if len(payload) >= len(document):
                 # Degenerate delta (base drifted badly); the full document
                 # is cheaper.  The controller already saw the bad ratio,

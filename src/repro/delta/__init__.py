@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.delta.apply import apply_delta, replay
 from repro.delta.codec import (
+    DEFAULT_MAX_TARGET_LENGTH,
     checksum,
     decode_delta,
     encode_delta,
@@ -55,20 +56,22 @@ def make_delta(
     base: bytes, target: bytes, encoder: VdeltaEncoder | None = None
 ) -> bytes:
     """Produce serialized (uncompressed) delta wire bytes."""
-    result = diff(base, target, encoder)
-    return encode_delta(result.instructions, len(base), checksum(target))
+    encoder = encoder or _DEFAULT_ENCODER
+    return bytes(encoder.encode_wire_with_index(encoder.index(base), target))
 
 
 def delta_size(
     base: bytes, target: bytes, encoder: VdeltaEncoder | None = None
 ) -> int:
     """Wire size of the delta between ``base`` and ``target``, in bytes."""
-    return encoded_size(diff(base, target, encoder).instructions, len(base))
+    encoder = encoder or _DEFAULT_ENCODER
+    return len(encoder.encode_wire_with_index(encoder.index(base), target))
 
 
 __all__ = [
     "Add",
     "BaseIndex",
+    "DEFAULT_MAX_TARGET_LENGTH",
     "BaseMismatchError",
     "Copy",
     "CorruptDeltaError",

@@ -9,7 +9,7 @@ stream, cheap enough that the paper calls client-side latency
 
 from __future__ import annotations
 
-from repro.delta.codec import checksum, decode_delta
+from repro.delta.codec import DEFAULT_MAX_TARGET_LENGTH, checksum, decode_delta
 from repro.delta.errors import BaseMismatchError, CorruptDeltaError
 from repro.delta.instructions import Copy, Instruction, Run
 
@@ -32,19 +32,31 @@ def replay(instructions: list[Instruction], base: bytes) -> bytes:
     return bytes(out)
 
 
-def apply_delta(payload: bytes, base: bytes) -> bytes:
+def apply_delta(
+    payload: bytes,
+    base: bytes,
+    *,
+    max_target_length: int | None = DEFAULT_MAX_TARGET_LENGTH,
+) -> bytes:
     """Apply a serialized delta to ``base`` and return the target document.
+
+    ``max_target_length`` caps the size of the reconstructed document
+    (default :data:`~repro.delta.codec.DEFAULT_MAX_TARGET_LENGTH`); the
+    bound is enforced during :func:`~repro.delta.codec.decode_delta`, so a
+    hostile payload never reaches :func:`replay`'s allocations.
 
     Raises
     ------
     CorruptDeltaError
-        If the payload is malformed.
+        If the payload is malformed or exceeds ``max_target_length``.
     BaseMismatchError
         If the base-file length or the reconstructed target checksum does
         not match the values recorded at encode time — i.e. the client's
         cached base-file is not the one the server diffed against.
     """
-    instructions, tlen, blen, expect = decode_delta(payload)
+    instructions, tlen, blen, expect = decode_delta(
+        payload, max_target_length=max_target_length
+    )
     if blen != len(base):
         raise BaseMismatchError(
             f"delta was made against a {blen}-byte base, got {len(base)} bytes"

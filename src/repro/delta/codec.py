@@ -17,6 +17,25 @@ predates a rebase).  :func:`repro.delta.apply.apply_delta` turns a checksum
 mismatch into :class:`~repro.delta.errors.BaseMismatchError` so the caller
 can fall back to a full-response fetch, as the architecture in Section VI-C
 requires.
+
+Decode bounds
+-------------
+
+The decoder treats the payload as attacker-controlled (it arrives over the
+wire at clients and proxies) and enforces:
+
+* **canonical, 63-bit varints** — a varint must be the shortest encoding of
+  its value (no redundant ``0x80 0x00``-style continuations, so
+  :func:`varint_size` always agrees with actual wire bytes) and must stay
+  below ``2**63``; anything else raises :class:`CorruptDeltaError` instead
+  of silently producing Python bigints.
+* **a target-size ceiling** — ``max_target_length`` (default
+  :data:`DEFAULT_MAX_TARGET_LENGTH`, 64 MiB) rejects payloads whose header
+  or instruction stream would reconstruct more bytes than the caller is
+  prepared to materialize.  A hostile 10-byte payload with a huge RUN
+  length is refused at decode time, *before* :func:`repro.delta.apply.replay`
+  would allocate gigabytes.  Pass ``max_target_length=None`` only for
+  trusted, locally-generated payloads.
 """
 
 from __future__ import annotations
@@ -28,15 +47,33 @@ from repro.delta.instructions import Add, Copy, Instruction, Run, target_length
 
 MAGIC = b"CBD1"
 
-_OP_ADD = 0x00
-_OP_COPY = 0x01
-_OP_RUN = 0x02
+OP_ADD = 0x00
+OP_COPY = 0x01
+OP_RUN = 0x02
+
+# Back-compat aliases (pre-streaming-kernel names).
+_OP_ADD = OP_ADD
+_OP_COPY = OP_COPY
+_OP_RUN = OP_RUN
+
+#: Hard ceiling on varint values: offsets and lengths live in 63 bits so
+#: they can never overflow into values a signed 64-bit consumer (or a
+#: future non-Python decoder) would misread.
+VARINT_MAX = (1 << 63) - 1
+
+#: Default decode-time bound on the reconstructed document size, shared by
+#: the engine's document-size config
+#: (:class:`repro.core.config.DeltaServerConfig.max_document_bytes`) and
+#: every untrusted decode path (clients, proxies, the load generator).
+DEFAULT_MAX_TARGET_LENGTH = 64 << 20
 
 
 def write_varint(value: int, out: bytearray) -> None:
-    """Append ``value`` as a LEB128-style varint."""
+    """Append ``value`` as a LEB128-style varint (canonical encoding)."""
     if value < 0:
         raise ValueError(f"varint must be non-negative, got {value}")
+    if value > VARINT_MAX:
+        raise ValueError(f"varint exceeds the 63-bit wire range: {value}")
     while True:
         byte = value & 0x7F
         value >>= 7
@@ -48,7 +85,13 @@ def write_varint(value: int, out: bytearray) -> None:
 
 
 def read_varint(data: bytes, pos: int) -> tuple[int, int]:
-    """Read a varint at ``pos``; return ``(value, next_pos)``."""
+    """Read a varint at ``pos``; return ``(value, next_pos)``.
+
+    Rejects non-canonical encodings (a redundant trailing ``0x00``
+    continuation byte, e.g. ``0x80 0x00`` for 0) and values outside the
+    63-bit range, so every decodable varint round-trips through
+    :func:`write_varint` in exactly the same number of bytes.
+    """
     result = 0
     shift = 0
     while True:
@@ -56,16 +99,28 @@ def read_varint(data: bytes, pos: int) -> tuple[int, int]:
             raise CorruptDeltaError("truncated varint")
         byte = data[pos]
         pos += 1
+        if byte == 0 and shift:
+            # write_varint stops as soon as the remaining value is zero, so
+            # a zero byte is only ever valid as a varint's sole byte.
+            raise CorruptDeltaError("non-canonical varint (redundant zero byte)")
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if result > VARINT_MAX:
+                raise CorruptDeltaError(
+                    f"varint exceeds the 63-bit wire range: {result}"
+                )
             return result, pos
         shift += 7
-        if shift > 63:
+        if shift > 56:
+            # 9 payload bytes carry 63 bits; a 10th byte can only encode
+            # values >= 2**63 (or a non-canonical padding of a smaller one).
             raise CorruptDeltaError("varint too long")
 
 
 def varint_size(value: int) -> int:
     """Number of bytes :func:`write_varint` emits for ``value``."""
+    if value > VARINT_MAX:
+        raise ValueError(f"varint exceeds the 63-bit wire range: {value}")
     size = 1
     while value > 0x7F:
         value >>= 7
@@ -97,17 +152,32 @@ def encode_delta(
     return bytes(out)
 
 
-def decode_delta(payload: bytes) -> tuple[list[Instruction], int, int, int]:
+def decode_delta(
+    payload: bytes,
+    *,
+    max_target_length: int | None = DEFAULT_MAX_TARGET_LENGTH,
+) -> tuple[list[Instruction], int, int, int]:
     """Parse the wire format.
 
     Returns ``(instructions, target_length, base_length, target_checksum)``.
     Raises :class:`CorruptDeltaError` on any structural inconsistency.
+
+    ``max_target_length`` bounds both the declared target length and the
+    bytes the instruction stream produces, so a hostile payload (e.g. a
+    tiny RUN with an enormous length) is rejected here instead of
+    triggering a giant allocation in :func:`repro.delta.apply.replay`.
+    Defaults to :data:`DEFAULT_MAX_TARGET_LENGTH`; ``None`` disables the
+    bound for trusted, locally-generated payloads.
     """
     if payload[: len(MAGIC)] != MAGIC:
         raise CorruptDeltaError(f"bad magic {payload[:4]!r}")
     pos = len(MAGIC)
     tlen, pos = read_varint(payload, pos)
     blen, pos = read_varint(payload, pos)
+    if max_target_length is not None and tlen > max_target_length:
+        raise CorruptDeltaError(
+            f"target length {tlen} exceeds bound {max_target_length}"
+        )
     if pos + 4 > len(payload):
         raise CorruptDeltaError("truncated checksum")
     checksum = int.from_bytes(payload[pos : pos + 4], "big")
@@ -115,6 +185,13 @@ def decode_delta(payload: bytes) -> tuple[list[Instruction], int, int, int]:
     instructions: list[Instruction] = []
     produced = 0
     while pos < len(payload):
+        if produced > tlen:
+            # Bail before parsing further instructions: the stream already
+            # overran its own header, so it can only be corrupt (and a RUN
+            # overrun could otherwise claim an unbounded produced total).
+            raise CorruptDeltaError(
+                f"instructions produce more than the declared {tlen} bytes"
+            )
         op = payload[pos]
         pos += 1
         if op == _OP_ADD:

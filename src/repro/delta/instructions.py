@@ -20,6 +20,7 @@ process (Section V) require.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -176,28 +177,43 @@ def coalesce(instructions: Iterable[Instruction]) -> Iterator[Instruction]:
 # run than this gains nothing once the extra ADD headers are paid.
 MIN_RUN = 24
 
+_RUN_PATTERNS: dict[int, re.Pattern[bytes]] = {}
+
+
+def run_pattern(min_run: int = MIN_RUN) -> re.Pattern[bytes]:
+    """Compiled pattern matching maximal single-byte runs of >= ``min_run``.
+
+    The regex engine scans literals in C instead of a per-byte Python loop;
+    greedy ``(.)\\1{n,}`` always captures the *maximal* run starting at the
+    leftmost qualifying position, so segmentation is identical to the
+    per-byte scan it replaced.
+    """
+    pattern = _RUN_PATTERNS.get(min_run)
+    if pattern is None:
+        pattern = _RUN_PATTERNS[min_run] = re.compile(
+            b"(.)\\1{%d,}" % max(min_run - 1, 0), re.DOTALL
+        )
+    return pattern
+
 
 def optimize_runs(
     instructions: Iterable[Instruction], min_run: int = MIN_RUN
 ) -> Iterator[Instruction]:
     """Rewrite long single-byte stretches inside ADD literals as RUNs."""
+    pattern = run_pattern(min_run)
     for instr in instructions:
         if not isinstance(instr, Add) or len(instr.data) < min_run:
             yield instr
             continue
         data = instr.data
         start = 0  # start of the pending literal segment
-        i = 0
-        n = len(data)
-        while i < n:
-            j = i + 1
-            while j < n and data[j] == data[i]:
-                j += 1
-            if j - i >= min_run:
-                if i > start:
-                    yield Add(data[start:i])
-                yield Run(data[i], j - i)
-                start = j
-            i = j
-        if start < n:
+        for match in pattern.finditer(data):
+            i, j = match.span()
+            if i > start:
+                yield Add(data[start:i])
+            yield Run(data[i], j - i)
+            start = j
+        if start == 0:
+            yield instr
+        elif start < len(data):
             yield Add(data[start:])

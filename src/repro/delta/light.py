@@ -23,7 +23,6 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.delta.vdelta import BaseIndex, VdeltaEncoder
-from repro.delta.codec import encoded_size
 
 
 @dataclass(slots=True)
@@ -97,6 +96,10 @@ class LightEstimator:
         return self.estimate_with_index(self.index(base), target)
 
     def estimate_with_index(self, index: BaseIndex, target: bytes) -> int:
-        """Estimated delta size against a prebuilt light index."""
-        result = self._encoder.encode_with_index(index, target)
-        return encoded_size(result.instructions, len(index.base))
+        """Estimated delta size against a prebuilt light index.
+
+        Runs the streaming wire kernel and measures the output directly —
+        the wire length *is* the old ``encoded_size(instructions, ...)``
+        value, without materializing an instruction list first.
+        """
+        return len(self._encoder.encode_wire_with_index(index, target))

@@ -52,6 +52,7 @@ from typing import Awaitable, Callable
 
 from repro.core.delta_server import DeltaServer
 from repro.delta.apply import apply_delta
+from repro.delta.codec import DEFAULT_MAX_TARGET_LENGTH
 from repro.delta.compress import decompress
 from repro.delta.errors import DeltaError
 from repro.http.messages import (
@@ -548,8 +549,12 @@ class LoadGenerator:
                 if response.headers.get(HEADER_CONTENT_ENCODING) == "deflate":
                     payload = decompress(payload)
                 # apply_delta checks the wire checksum: success IS
-                # byte-for-byte verification of the reconstruction.
-                document = apply_delta(payload, base)
+                # byte-for-byte verification of the reconstruction.  The
+                # decode bound rejects payloads that would reconstruct
+                # more than the engine would ever serve.
+                document = apply_delta(
+                    payload, base, max_target_length=DEFAULT_MAX_TARGET_LENGTH
+                )
             except (DeltaError, zlib.error):
                 report.delta_failures += 1
                 self._base_cache.pop(ref, None)

@@ -112,12 +112,16 @@ class TestQuarantine:
         ref = warm_up(server, url)
         cls = server.class_of(url)
 
-        def boom(self, index, document):
+        def boom(self, index, document, write, *args, **kwargs):
             raise RuntimeError("encoder bug")
 
         # VdeltaEncoder is a slots dataclass: patch the class, not the
-        # instance.
-        monkeypatch.setattr(type(server._encoder), "encode_with_index", boom)
+        # instance.  Clear the encode cache so the faulting kernel is
+        # actually reached instead of a memoized artifact.
+        monkeypatch.setattr(
+            type(server._encoder), "encode_stream_with_index", boom
+        )
+        cls.encode_cache.clear()
         response = server.handle(req(url, "u9", accept=ref), now=10.0)
         assert response.status == 200
         assert not response.is_delta

@@ -90,11 +90,13 @@ class _RacingEncoder:
         self.fired = 0
         engine._encoder = self
 
-    def encode_with_index(self, index, target):
+    def encode_stream_with_index(self, index, target, write, *args, **kwargs):
         if self.fired == 0:
             self.fired += 1
             self._mutate()
-        return self._inner.encode_with_index(index, target)
+        return self._inner.encode_stream_with_index(
+            index, target, write, *args, **kwargs
+        )
 
     def __getattr__(self, name):
         return getattr(self._inner, name)

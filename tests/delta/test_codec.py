@@ -4,8 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.delta.apply import apply_delta
 from repro.delta.codec import (
+    DEFAULT_MAX_TARGET_LENGTH,
     MAGIC,
+    VARINT_MAX,
     checksum,
     decode_delta,
     encode_delta,
@@ -15,7 +18,7 @@ from repro.delta.codec import (
     write_varint,
 )
 from repro.delta.errors import CorruptDeltaError
-from repro.delta.instructions import Add, Copy
+from repro.delta.instructions import Add, Copy, Run
 from repro.delta.vdelta import VdeltaEncoder
 
 
@@ -50,6 +53,138 @@ class TestVarint:
         buf = bytearray()
         write_varint(value, buf)
         assert read_varint(bytes(buf), 0) == (value, len(buf))
+
+
+class TestVarintBounds:
+    """Regressions for the unbounded/non-canonical varint bugs."""
+
+    def test_max_value_roundtrips(self):
+        buf = bytearray()
+        write_varint(VARINT_MAX, buf)
+        assert read_varint(bytes(buf), 0) == (VARINT_MAX, len(buf))
+        assert varint_size(VARINT_MAX) == len(buf) == 9
+
+    def test_write_rejects_over_63_bits(self):
+        with pytest.raises(ValueError):
+            write_varint(VARINT_MAX + 1, bytearray())
+        with pytest.raises(ValueError):
+            varint_size(VARINT_MAX + 1)
+
+    def test_read_rejects_ten_byte_encoding(self):
+        # 2**63 encoded LEB128-style: ten bytes, previously decoded to a
+        # silent Python bigint.
+        data = bytes([0x80] * 9 + [0x01])
+        with pytest.raises(CorruptDeltaError):
+            read_varint(data, 0)
+
+    def test_nine_bytes_saturate_at_varint_max(self):
+        # Nine payload bytes carry exactly 63 bits: the largest 9-byte
+        # varint IS the range maximum, so overflow requires a 10th byte
+        # (rejected above) and no decodable value ever exceeds VARINT_MAX.
+        data = bytes([0xFF] * 8 + [0x7F])
+        assert read_varint(data, 0) == (VARINT_MAX, 9)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            bytes([0x80, 0x00]),  # 0 padded to two bytes
+            bytes([0xFF, 0x00]),  # 127 padded to two bytes
+            bytes([0x80, 0x80, 0x00]),  # 0 padded to three bytes
+        ],
+    )
+    def test_read_rejects_non_canonical(self, data):
+        with pytest.raises(CorruptDeltaError):
+            read_varint(data, 0)
+
+    def test_zero_single_byte_still_valid(self):
+        assert read_varint(b"\x00rest", 0) == (0, 1)
+
+    @given(st.binary(min_size=1, max_size=12))
+    @settings(max_examples=200)
+    def test_any_decodable_varint_reencodes_identically(self, data):
+        """Whatever read_varint accepts, write_varint reproduces exactly —
+        so varint_size always agrees with the wire."""
+        try:
+            value, pos = read_varint(data, 0)
+        except CorruptDeltaError:
+            return
+        buf = bytearray()
+        write_varint(value, buf)
+        assert bytes(buf) == data[:pos]
+        assert varint_size(value) == pos
+
+
+class TestDecodeBounds:
+    """Regressions for the memory-DoS hole: huge RUN/tlen payloads."""
+
+    def _payload(self, instructions, tlen, blen=0, check=0):
+        out = bytearray(MAGIC)
+        write_varint(tlen, out)
+        write_varint(blen, out)
+        out += check.to_bytes(4, "big")
+        for instr in instructions:
+            if isinstance(instr, Run):
+                out += bytes([0x02, instr.byte])
+                write_varint(instr.length, out)
+            elif isinstance(instr, Add):
+                out.append(0x00)
+                write_varint(len(instr.data), out)
+                out += instr.data
+            else:
+                out.append(0x01)
+                write_varint(instr.offset, out)
+                write_varint(instr.length, out)
+        return bytes(out)
+
+    def test_huge_run_with_matching_header_rejected(self):
+        # A ~10-byte payload that previously decoded fine and then made
+        # replay allocate gigabytes.
+        huge = 8 << 30
+        payload = self._payload([Run(0x41, huge)], tlen=huge)
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(payload)
+
+    def test_huge_run_rejected_before_replay_allocates(self):
+        huge = 8 << 30
+        payload = self._payload([Run(0x41, huge)], tlen=huge)
+        with pytest.raises(CorruptDeltaError):
+            apply_delta(payload, b"")
+
+    def test_run_overrunning_header_rejected_early(self):
+        # tlen is small (passes the header bound) but a RUN inside claims
+        # far more; the in-stream bound must trip before more instructions
+        # are parsed.
+        payload = self._payload([Run(0x41, 4 << 30), Run(0x42, 1)], tlen=100)
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(payload)
+
+    def test_explicit_bound_enforced(self):
+        target = b"x" * 2048
+        wire = bytes(
+            VdeltaEncoder().encode_wire_with_index(
+                VdeltaEncoder().index(b""), target
+            )
+        )
+        decode_delta(wire)  # default bound: fine
+        with pytest.raises(CorruptDeltaError):
+            decode_delta(wire, max_target_length=1024)
+        with pytest.raises(CorruptDeltaError):
+            apply_delta(wire, b"", max_target_length=1024)
+
+    def test_bound_disabled_for_trusted_payloads(self):
+        target = b"y" * 4096
+        wire = bytes(
+            VdeltaEncoder().encode_wire_with_index(
+                VdeltaEncoder().index(b""), target
+            )
+        )
+        assert decode_delta(wire, max_target_length=None)[1] == len(target)
+        assert apply_delta(wire, b"", max_target_length=None) == target
+
+    def test_default_bound_is_the_engine_document_bound(self):
+        from repro.core.config import DeltaServerConfig
+
+        assert DeltaServerConfig().max_document_bytes == DEFAULT_MAX_TARGET_LENGTH
 
 
 class TestDeltaCodec:
