@@ -190,7 +190,7 @@ def bench_ablation_popularity_split(benchmark):
             rulebook=RuleBook(),
             estimator=estimator,
             class_factory=factory,
-            rng=random.Random(11),
+            seed=11,
         )
         from repro.workload import ZipfSampler
 

@@ -160,6 +160,15 @@ class DocumentClass:
         self._light_index: BaseIndex | None = None
         self._raw_full_index: BaseIndex | None = None
 
+        # The MinHash sketch of the current base (see repro.core.sketch):
+        # the grouper registers it in the LSH candidate index and the
+        # store persists it next to the committed base, so a warm restart
+        # does not re-sketch every base.  Keyed by base object identity
+        # (like the differ index caches) so promote/rebase/restore
+        # invalidate it without extra bookkeeping.
+        self.base_signature: tuple[int, ...] | None = None
+        self._sketch_base: bytes | None = None
+
         # Finished (wire_size, compressed payload) artifacts per
         # (base version, target checksum); see EncodeCache for why hits
         # are safe across the engine's snapshot-encode-commit races.
@@ -179,6 +188,23 @@ class DocumentClass:
 
     def add_member(self, url: str) -> None:
         self.members.add(url)
+
+    # -- content sketch --------------------------------------------------------
+
+    def note_signature(
+        self, signature: "tuple[int, ...] | None", base: bytes | None
+    ) -> None:
+        """Record the MinHash signature computed from exactly ``base``."""
+        self.base_signature = signature
+        self._sketch_base = base
+
+    def signature_for(self, base: bytes | None) -> "tuple[int, ...] | None":
+        """The cached signature iff it was computed from this ``base``
+        object (identity check, same invalidation rule as the differ
+        index caches)."""
+        if base is not None and base is self._sketch_base:
+            return self.base_signature
+        return None
 
     # -- base-file lifecycle ---------------------------------------------------
 
@@ -316,6 +342,8 @@ class DocumentClass:
         self._light_index = None
         self._raw_full_index = None
         self._checksum = None
+        self.base_signature = None
+        self._sketch_base = None
         self.encode_cache.clear()
         return freed
 
@@ -344,6 +372,8 @@ class DocumentClass:
         self._full_index = None
         self._light_index = None
         self._raw_full_index = None
+        self.base_signature = None
+        self._sketch_base = None
         # The restored version number may collide with pre-restart cache
         # entries for different base bytes; never let them be confused.
         self.encode_cache.clear()

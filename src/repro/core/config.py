@@ -26,6 +26,10 @@ class EvictionVariant(enum.Enum):
     TWO_SET = "two_set"  # candidate set + independent reference-sample set
 
 
+#: valid values for :attr:`GroupingConfig.policy`
+GROUPING_POLICIES = ("sketch", "scan")
+
+
 @dataclass(frozen=True, slots=True)
 class GroupingConfig:
     """Knobs of the grouping mechanism (paper Section III)."""
@@ -43,6 +47,21 @@ class GroupingConfig:
     #: Stop at the first matching class (the paper's preferred option)
     #: instead of probing all ``max_tries`` and picking the best match.
     first_match: bool = True
+    #: Candidate selection: ``"sketch"`` consults the MinHash/LSH index
+    #: first and light-estimates only its (small) candidate set;
+    #: ``"scan"`` is Section III's literal procedure — every same-server
+    #: class is eligible when no same-hint class exists — kept as the
+    #: parity baseline (O(classes) per fresh-hint URL).
+    policy: str = "sketch"
+    #: Byte-shingle window hashed into the MinHash signature.
+    sketch_shingle_size: int = 16
+    #: Stride between shingle windows (overlap = size - step).
+    sketch_shingle_step: int = 8
+    #: LSH banding geometry: ``bands`` groups of ``rows`` signature slots.
+    #: Candidate recall for Jaccard similarity ``j`` is
+    #: ``1 - (1 - j^rows)^bands`` — 8×4 recalls j=0.9 with p~0.9998.
+    sketch_bands: int = 8
+    sketch_rows: int = 4
 
     def __post_init__(self) -> None:
         if not 0 < self.match_threshold <= 1:
@@ -51,6 +70,23 @@ class GroupingConfig:
             raise ValueError(f"max_tries must be >= 1, got {self.max_tries}")
         if not 0 <= self.popular_fraction <= 1:
             raise ValueError(f"popular_fraction must be in [0, 1], got {self.popular_fraction}")
+        if self.policy not in GROUPING_POLICIES:
+            raise ValueError(
+                f"policy must be one of {GROUPING_POLICIES}, got {self.policy!r}"
+            )
+        if self.sketch_shingle_size < 1:
+            raise ValueError(
+                f"sketch_shingle_size must be >= 1, got {self.sketch_shingle_size}"
+            )
+        if self.sketch_shingle_step < 1:
+            raise ValueError(
+                f"sketch_shingle_step must be >= 1, got {self.sketch_shingle_step}"
+            )
+        if self.sketch_bands < 1 or self.sketch_rows < 1:
+            raise ValueError(
+                "sketch_bands and sketch_rows must be >= 1, got "
+                f"{self.sketch_bands}x{self.sketch_rows}"
+            )
 
 
 @dataclass(frozen=True, slots=True)

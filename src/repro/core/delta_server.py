@@ -237,9 +237,11 @@ class DeltaServer:
             rulebook=rulebook or RuleBook(),
             estimator=self._estimator,
             class_factory=self._new_class,
-            rng=self._rng,
+            seed=self.config.seed,
             exact_delta=self._delta_size,
             member_hook=self.store_hooks.member_added,
+            hit_hook=self.store_hooks.class_hit,
+            metrics=self.metrics,
         )
         # Warm restart: rebuild classes, memberships, and latest base-file
         # versions from the persistent store (no-op for the default hooks).
@@ -445,12 +447,19 @@ class DeltaServer:
             else:
                 cls.feed(document, request.user_id)
                 self._maybe_rebase(cls, document, request.user_id, now)
+            # Keep the LSH candidate index in step with the base the
+            # grouper probes: a no-op (two attribute reads) unless the
+            # base object changed (adoption, promotion, rebase, release).
+            # Still under the class lock — class lock → sketch-index lock
+            # is the sanctioned ordering.
+            signature = self.grouper.refresh_sketch(cls)
             if cls.version != version_before and cls.can_serve_deltas:
                 # A promotion happened (adoption, anonymization completion,
                 # or rebase): durably commit the new distributable version.
                 # Still under the class lock, so the committed bytes are
                 # exactly the version being published (class lock → store
-                # lock is the sanctioned ordering).
+                # lock is the sanctioned ordering).  The signature rides
+                # along so a warm restart does not re-sketch the base.
                 persistent = self.store_hooks.store is not None
                 started = perf_counter()
                 assert cls.distributable_base is not None
@@ -460,6 +469,7 @@ class DeltaServer:
                     cls.version,
                     cls.distributable_base,
                     cls.distributable_checksum,
+                    signature=signature,
                 )
                 if persistent:
                     timings["store_commit"] = (

@@ -20,6 +20,22 @@ Implements Section III's search procedure with all four heuristics:
 A *matching* occurs when the estimated delta is below
 ``match_threshold × len(document)``.
 
+Candidate selection — the sketch index
+--------------------------------------
+
+The paper's procedure considers *every* same-server class when no
+same-hint class exists, and even the popular-first ordering is
+O(classes) per request — the scaling wall for million-URL corpora.
+Under the default ``policy="sketch"`` a MinHash/LSH index
+(:mod:`repro.core.sketch`) replaces that scan: the request document is
+sketched once (about the cost of one light estimate), the LSH lookup
+returns the classes whose *base content* is near-duplicate in O(1), and
+only that small candidate set is popularity-ordered and light-estimated
+as the confirming stage.  Heuristic 2 is preserved: when same-hint
+classes exist they stay the candidate pool (the sketch only narrows it
+when the pool exceeds the probe budget).  ``policy="scan"`` keeps the
+literal exhaustive procedure as a parity baseline.
+
 Manual grouping — "the administrator has the option to manually group URLs
 into classes" — is supported via regex pin rules checked before the
 automatic search.
@@ -32,7 +48,11 @@ different hints of one site — run in parallel while two racing first
 requests for the same key can never fork a class.  Probing a candidate
 class's light index takes that class's own lock only for the cached-index
 lookup; the estimate itself runs against the immutable index outside it.
-Registry maps are guarded by a single brief registry lock.
+Registry maps are guarded by a single brief registry lock.  Each shard
+draws its random probes from its own seeded RNG (derived from the
+grouper seed and the shard key), so concurrent shards never interleave
+one generator's state and runs are reproducible regardless of thread
+scheduling.
 """
 
 from __future__ import annotations
@@ -44,10 +64,13 @@ import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
+from zlib import crc32
 
 from repro.core.classes import DocumentClass
 from repro.core.config import GroupingConfig
+from repro.core.sketch import MinHashSketcher, SketchIndex
 from repro.delta.light import LightEstimator
+from repro.metrics.registry import MetricsRegistry
 from repro.url.parts import URLParts
 from repro.url.rules import RuleBook
 
@@ -65,6 +88,9 @@ class GroupingStats:
     created: int = 0
     manual: int = 0
     total_tries: int = 0
+    #: sketch-index lookups that produced >= 1 candidate / none at all
+    sketch_hits: int = 0
+    sketch_misses: int = 0
     #: histogram: tries_needed -> count (successful matches only)
     tries_histogram: dict[int, int] = field(default_factory=dict)
 
@@ -85,20 +111,39 @@ class Grouper:
         rulebook: RuleBook,
         estimator: LightEstimator,
         class_factory: Callable[[str, str], DocumentClass],
-        rng: random.Random,
+        seed: int = 2002,
         exact_delta: ExactDelta | None = None,
         member_hook: Callable[[str, str], None] | None = None,
+        hit_hook: Callable[[str, int], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._config = config
         self._rulebook = rulebook
         self._estimator = estimator
         self._class_factory = class_factory
-        self._rng = rng
+        self._seed = seed
         self._exact_delta = exact_delta
         #: persistence hook: fired once per (class_id, url) adoption so the
         #: store can journal membership; never fired during warm restart.
         self._member_hook = member_hook
+        #: persistence hook: fired with the absolute per-class hit count on
+        #: every increment, so popularity (which orders heuristic-4 probes)
+        #: survives a restart; the store side decides how often to journal.
+        self._hit_hook = hit_hook
+        self._metrics = metrics
         self.stats = GroupingStats()
+
+        if config.policy == "sketch":
+            self._sketcher: MinHashSketcher | None = MinHashSketcher(
+                shingle_size=config.sketch_shingle_size,
+                shingle_step=config.sketch_shingle_step,
+                bands=config.sketch_bands,
+                rows=config.sketch_rows,
+            )
+            self._sketch_index: SketchIndex | None = SketchIndex(self._sketcher)
+        else:
+            self._sketcher = None
+            self._sketch_index = None
 
         self._classes: dict[str, DocumentClass] = {}
         self._by_server: dict[str, list[DocumentClass]] = {}
@@ -111,6 +156,7 @@ class Grouper:
         self._registry_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._shard_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._shard_rngs: dict[tuple[str, str], random.Random] = {}
 
     # -- registry ------------------------------------------------------------
 
@@ -143,12 +189,16 @@ class Grouper:
         """Manually route URLs matching ``url_pattern`` to ``class_id``.
 
         The class must already exist (create it by replaying one request or
-        via :meth:`create_class`).
+        via :meth:`create_class`).  The existence check happens under the
+        registry lock, atomically with appending the rule, so a rule can
+        never be registered for an id that was concurrently observed as
+        absent (and the error is raised before any state changes).
         """
-        if class_id not in self._classes:
-            raise KeyError(f"unknown class {class_id!r}")
+        compiled = re.compile(url_pattern)
         with self._registry_lock:
-            self._manual_rules.append((re.compile(url_pattern), class_id))
+            if class_id not in self._classes:
+                raise KeyError(f"unknown class {class_id!r}")
+            self._manual_rules.append((compiled, class_id))
 
     def create_class(self, parts: URLParts) -> DocumentClass:
         """Create (and register) an empty class for a URL's parts."""
@@ -165,6 +215,26 @@ class Grouper:
             with self._registry_lock:
                 lock = self._shard_locks.setdefault(key, threading.Lock())
         return lock
+
+    def _shard_rng(self, key: tuple[str, str]) -> random.Random:
+        """This shard's private seeded RNG (heuristic-4 random picks).
+
+        Derived from the grouper seed and the shard key, so the draw
+        sequence of one shard is a pure function of that shard's own
+        search history — concurrent shards cannot interleave generator
+        state, and reordering *across* shards cannot change any shard's
+        draws.  Only ever advanced under the shard's lock.
+        """
+        rng = self._shard_rngs.get(key)
+        if rng is None:
+            with self._registry_lock:
+                rng = self._shard_rngs.get(key)
+                if rng is None:
+                    derived = (self._seed << 32) ^ crc32(
+                        f"{key[0]}\x1f{key[1]}".encode()
+                    )
+                    rng = self._shard_rngs.setdefault(key, random.Random(derived))
+        return rng
 
     # -- the grouping search ------------------------------------------------------
 
@@ -186,8 +256,7 @@ class Grouper:
             self.stats.requests += 1
         known = self.class_for_url(url)
         if known is not None:
-            with known.lock:
-                known.stats.hits += 1
+            self._note_hit(known)
             return known, False
 
         parts = self._rulebook.partition(url)
@@ -203,8 +272,7 @@ class Grouper:
             # same URL may have grouped it while we waited.
             known = self.class_for_url(url)
             if known is not None:
-                with known.lock:
-                    known.stats.hits += 1
+                self._note_hit(known)
                 return known, False
 
             manual = self._match_manual(url)
@@ -214,7 +282,17 @@ class Grouper:
                     self.stats.manual += 1
                 return manual, False
 
-            match = self._search(parts, document)
+            # Sketch policy: one signature per searched document.  It
+            # drives candidate lookup and, when the search fails, becomes
+            # the new class's registered signature for free (the document
+            # is adopted as that class's base).
+            signature = (
+                self._sketcher.signature(document)
+                if self._sketcher is not None
+                else None
+            )
+
+            match = self._search(parts, document, signature)
             if match is not None:
                 self._adopt(match, url)
                 with self._stats_lock:
@@ -223,6 +301,10 @@ class Grouper:
 
             cls = self.create_class(parts)
             self._adopt(cls, url)
+            if signature is not None and self._sketch_index is not None:
+                with cls.lock:
+                    cls.note_signature(signature, document)
+                self._sketch_index.register(cls.class_id, signature)
             with self._stats_lock:
                 self.stats.created += 1
             return cls, True
@@ -237,22 +319,46 @@ class Grouper:
                 return self._classes[class_id]
         return None
 
+    def _note_hit(self, cls: DocumentClass) -> None:
+        """Count one request against a class, feeding the persistence hook."""
+        with cls.lock:
+            cls.stats.hits += 1
+            hits = cls.stats.hits
+        if self._hit_hook is not None:
+            self._hit_hook(cls.class_id, hits)
+
     def _adopt(self, cls: DocumentClass, url: str) -> None:
         with cls.lock:
             cls.add_member(url)
             cls.stats.hits += 1
+            hits = cls.stats.hits
         with self._registry_lock:
             self._url_to_class[url] = cls.class_id
         if self._member_hook is not None:
             self._member_hook(cls.class_id, url)
+        if self._hit_hook is not None:
+            self._hit_hook(cls.class_id, hits)
 
-    def restore_class(self, cls: DocumentClass, members: list[str]) -> None:
-        """Register a rehydrated class and its membership (warm restart).
+    def restore_class(
+        self,
+        cls: DocumentClass,
+        members: list[str],
+        *,
+        hits: int = 0,
+        signature: "tuple[int, ...] | list[int] | None" = None,
+    ) -> None:
+        """Register a rehydrated class, membership, popularity and sketch.
 
-        Everything is already on disk, so the member hook is *not* fired —
-        re-journaling the membership on every restart would grow the
-        journal unboundedly.  Called before the engine serves traffic, but
-        takes the normal locks anyway so it is safe regardless.
+        Everything is already on disk, so the member/hit hooks are *not*
+        fired — re-journaling on every restart would grow the journal
+        unboundedly.  ``hits`` restores the popularity counter that orders
+        heuristic-4 probes (it used to reset to 0 on restart, silently
+        discarding the popular-first ordering).  ``signature`` is the
+        persisted base sketch; when absent (or from a different sketch
+        geometry) the restored base is re-sketched so the class is still
+        findable through the LSH index.  Called before the engine serves
+        traffic — and after the base has been restored — but takes the
+        normal locks anyway so it is safe regardless.
         """
         with self._registry_lock:
             self._classes[cls.class_id] = cls
@@ -261,19 +367,73 @@ class Grouper:
         with cls.lock:
             for url in members:
                 cls.add_member(url)
+            if hits > cls.stats.hits:
+                cls.stats.hits = hits
         with self._registry_lock:
             for url in members:
                 self._url_to_class[url] = cls.class_id
+        if self._sketch_index is None:
+            return
+        assert self._sketcher is not None
+        with cls.lock:
+            if signature is not None and len(signature) == self._sketcher.num_perm:
+                restored = tuple(int(slot) for slot in signature)
+                base = (
+                    cls.distributable_base
+                    if cls.can_serve_deltas
+                    else cls.raw_base
+                )
+                cls.note_signature(restored, base)
+                self._sketch_index.register(cls.class_id, restored)
+            else:
+                self.refresh_sketch(cls)
 
-    def _search(self, parts: URLParts, document: bytes) -> DocumentClass | None:
-        eligible = self._eligible(parts)
+    def refresh_sketch(self, cls: DocumentClass) -> "tuple[int, ...] | None":
+        """Re-register ``cls`` in the LSH index if its base changed.
+
+        Caller holds ``cls.lock`` (the engine's ingest path) or owns the
+        class exclusively (warm restart).  Cheap when nothing changed: the
+        cached signature is keyed by base object identity, so the common
+        case is two attribute reads.  Returns the current signature (what
+        the store should persist alongside the committed base), or None
+        under the scan policy / for a base-less class.
+        """
+        if self._sketch_index is None or self._sketcher is None:
+            return None
+        base = cls.distributable_base if cls.can_serve_deltas else cls.raw_base
+        if base is None:
+            # release_base()/quarantine() clear the cached signature before
+            # this runs, so unregister unconditionally (it is idempotent) —
+            # a base-less class must not linger in the candidate index.
+            cls.note_signature(None, None)
+            self._sketch_index.unregister(cls.class_id)
+            return None
+        cached = cls.signature_for(base)
+        if cached is not None:
+            return cached
+        signature = self._sketcher.signature(base)
+        cls.note_signature(signature, base)
+        self._sketch_index.register(cls.class_id, signature)
+        return signature
+
+    def _search(
+        self,
+        parts: URLParts,
+        document: bytes,
+        signature: "tuple[int, ...] | None" = None,
+    ) -> DocumentClass | None:
+        if signature is not None:
+            eligible = self._sketch_eligible(parts, signature)
+        else:
+            eligible = self._eligible(parts)
         if not eligible:
             return None
         threshold = self._config.match_threshold * len(document)
         best: DocumentClass | None = None
         best_estimate = math.inf
+        best_tries = 0
         tries = 0
-        for cls in self._probe_order(eligible):
+        for cls in self._probe_order(eligible, self._shard_rng(parts.key)):
             if tries >= self._config.max_tries:
                 break
             estimate = self._estimate(cls, document)
@@ -287,9 +447,12 @@ class Grouper:
                     self._record_tries(tries)
                     return cls
                 if estimate < best_estimate:
-                    best, best_estimate = cls, estimate
+                    # Remember the probe count *at which* the best match
+                    # surfaced; recording the loop-final count inflated
+                    # the tries histogram in best-match mode.
+                    best, best_estimate, best_tries = cls, estimate, tries
         if best is not None:
-            self._record_tries(tries)
+            self._record_tries(best_tries)
         return best
 
     def _record_tries(self, tries: int) -> None:
@@ -306,7 +469,74 @@ class Grouper:
                 return list(same_hint)
             return list(self._by_server.get(parts.server, ()))
 
-    def _probe_order(self, eligible: list[DocumentClass]) -> list[DocumentClass]:
+    def _sketch_eligible(
+        self, parts: URLParts, signature: tuple[int, ...]
+    ) -> list[DocumentClass]:
+        """Sketch-policy candidate selection (replaces the full scan).
+
+        Same-hint pools no larger than the probe budget are returned
+        whole — probing them all is already O(1), and it keeps heuristic
+        2's recall even when a hinted class's base drifted away from the
+        request's content.  Larger hinted pools are narrowed to the LSH
+        candidates inside them (falling back to the whole pool when the
+        sketch knows none of them).  With no same-hint class at all, the
+        LSH lookup *replaces* the same-server scan: only classes whose
+        base content collides with the document in at least one band are
+        considered, in O(candidates) instead of O(classes).
+        """
+        assert self._sketch_index is not None
+        with self._registry_lock:
+            same_hint = self._by_key.get(parts.key)
+            hinted = list(same_hint) if same_hint else None
+        if hinted is not None and len(hinted) <= self._config.max_tries:
+            return hinted
+        candidate_ids = self._sketch_index.candidates(signature)
+        if hinted is not None:
+            hint_ids = {cls.class_id for cls in hinted}
+            eligible = [
+                self._classes[cid] for cid in candidate_ids if cid in hint_ids
+            ]
+            self._note_sketch(len(eligible))
+            return eligible or hinted
+        server = parts.server
+        eligible = []
+        for cid in candidate_ids:
+            # Lock-free dict read, same contract as class_for_url: classes
+            # are never deleted and dict reads are atomic.
+            cls = self._classes.get(cid)
+            if cls is not None and cls.server == server:
+                eligible.append(cls)
+        self._note_sketch(len(eligible))
+        return eligible
+
+    def _note_sketch(self, candidates: int) -> None:
+        """Record one LSH lookup's outcome (stats + metrics families)."""
+        with self._stats_lock:
+            if candidates:
+                self.stats.sketch_hits += 1
+            else:
+                self.stats.sketch_misses += 1
+        if self._metrics is None:
+            return
+        if candidates:
+            self._metrics.inc(
+                "grouping_sketch_hits_total",
+                help="LSH candidate lookups that produced at least one candidate",
+            )
+        else:
+            self._metrics.inc(
+                "grouping_sketch_misses_total",
+                help="LSH candidate lookups that produced no candidate",
+            )
+        self._metrics.observe(
+            "grouping_sketch_candidates",
+            candidates,
+            help="candidate classes returned per LSH sketch lookup",
+        )
+
+    def _probe_order(
+        self, eligible: list[DocumentClass], rng: random.Random
+    ) -> list[DocumentClass]:
         """Heuristic 3: ``a·N`` most popular first, then random others."""
         n = self._config.max_tries
         popular_quota = math.ceil(self._config.popular_fraction * n)
@@ -315,7 +545,7 @@ class Grouper:
         rest = by_popularity[popular_quota:]
         if rest:
             sample_size = min(len(rest), n - len(head))
-            tail = self._rng.sample(rest, sample_size) if sample_size > 0 else []
+            tail = rng.sample(rest, sample_size) if sample_size > 0 else []
         else:
             tail = []
         return head + tail

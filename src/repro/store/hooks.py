@@ -8,8 +8,12 @@ allocates), and every store call site in the engine stays unconditional.
 :class:`PersistentStoreHooks` forwards the hook points to a real store:
 
 * ``class_created`` / ``member_added`` — buffered journal appends;
+* ``class_hit`` — throttled popularity checkpoints (one buffered record
+  per :data:`HIT_JOURNAL_STRIDE` hits), so the popular-first probe order
+  survives restarts;
 * ``base_committed`` — the fsync'd crash-safe commit (called under the
-  class lock, after the in-memory version bump);
+  class lock, after the in-memory version bump); carries the base's
+  MinHash signature so restarts skip re-sketching;
 * ``class_quarantined`` / ``base_released`` — payload drops;
 * ``rehydrate(engine)`` — the warm-restart path: rebuild classes, url→
   class mappings and latest base-file versions into a fresh engine from
@@ -42,8 +46,16 @@ class StoreHooks:
     def member_added(self, class_id: str, url: str) -> None:
         pass
 
+    def class_hit(self, class_id: str, hits: int) -> None:
+        pass
+
     def base_committed(
-        self, class_id: str, version: int, document: bytes, doc_checksum: int
+        self,
+        class_id: str,
+        version: int,
+        document: bytes,
+        doc_checksum: int,
+        signature: "tuple[int, ...] | None" = None,
     ) -> None:
         pass
 
@@ -69,11 +81,18 @@ class NullStoreHooks(StoreHooks):
     """Alias kept for call-site readability (`hooks = NullStoreHooks()`)."""
 
 
+#: journal a hit-count checkpoint every this many hits per class — the
+#: trade between journal growth (one tiny record per stride) and how much
+#: popularity-ordering accuracy a crash can cost (at most stride-1 hits)
+HIT_JOURNAL_STRIDE = 16
+
+
 class PersistentStoreHooks(StoreHooks):
     """Forward engine lifecycle events into a :class:`Store`."""
 
-    def __init__(self, store: Store) -> None:
+    def __init__(self, store: Store, hit_stride: int = HIT_JOURNAL_STRIDE) -> None:
         self.store = store
+        self.hit_stride = max(int(hit_stride), 1)
 
     def class_created(self, class_id: str, server: str, hint: str) -> None:
         self.store.add_class(class_id, server, hint)
@@ -81,10 +100,23 @@ class PersistentStoreHooks(StoreHooks):
     def member_added(self, class_id: str, url: str) -> None:
         self.store.add_member(class_id, url)
 
+    def class_hit(self, class_id: str, hits: int) -> None:
+        # Fired per request on the grouper's fast path: the stride check
+        # must stay one modulo, journaling only every Nth hit.
+        if hits % self.hit_stride == 0:
+            self.store.record_hits(class_id, hits)
+
     def base_committed(
-        self, class_id: str, version: int, document: bytes, doc_checksum: int
+        self,
+        class_id: str,
+        version: int,
+        document: bytes,
+        doc_checksum: int,
+        signature: "tuple[int, ...] | None" = None,
     ) -> None:
-        self.store.commit_base(class_id, version, document, doc_checksum)
+        self.store.commit_base(
+            class_id, version, document, doc_checksum, signature=signature
+        )
 
     def class_quarantined(self, class_id: str, cause: str) -> None:
         self.store.quarantine(class_id, cause)
@@ -107,7 +139,9 @@ class PersistentStoreHooks(StoreHooks):
             cls = engine.restore_class(state.class_id, state.server, state.hint)
             if cls is None:
                 continue
-            engine.grouper.restore_class(cls, state.members)
+            # Base first, grouper second: registration consults the
+            # restored base when re-sketching a class whose signature was
+            # never persisted (or was sketched with another geometry).
             if state.latest is not None:
                 entry = state.entries.get(state.latest)
                 try:
@@ -116,6 +150,12 @@ class PersistentStoreHooks(StoreHooks):
                     pass
                 else:
                     cls.restore_base(document, state.latest, entry.doc_checksum)
+            engine.grouper.restore_class(
+                cls,
+                state.members,
+                hits=state.hits,
+                signature=tuple(state.sketch) if state.sketch else None,
+            )
             restored += 1
         engine.seed_class_counter(state.class_id for state in states)
         self.store.stats.rehydrated_classes = restored

@@ -39,6 +39,9 @@ REC_BASE = "base_committed"
 REC_QUARANTINE = "class_quarantined"
 REC_RELEASE = "base_released"
 REC_EVICT = "history_evicted"
+#: absolute per-class hit count checkpoint (popularity across restarts);
+#: appended at a stride, not per hit, so the journal stays bounded
+REC_HITS = "class_hits"
 
 
 class Journal:

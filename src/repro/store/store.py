@@ -72,6 +72,7 @@ from repro.store.journal import (
     REC_BASE,
     REC_CLASS,
     REC_EVICT,
+    REC_HITS,
     REC_MEMBER,
     REC_QUARANTINE,
     REC_RELEASE,
@@ -119,6 +120,10 @@ class ClassState:
     member_set: set[str] = field(default_factory=set)
     entries: dict[int, PackEntry] = field(default_factory=dict)
     latest: int | None = None
+    #: last journaled hit-count checkpoint (popularity across restarts)
+    hits: int = 0
+    #: MinHash signature of the latest committed base, if one was recorded
+    sketch: list[int] | None = None
 
     def add_member(self, url: str) -> bool:
         if url in self.member_set:
@@ -359,12 +364,23 @@ class Store:
                 st.entries[entry.version] = entry
                 if st.latest is None or entry.version >= st.latest:
                     st.latest = entry.version
+                    # The sketch always describes the latest base; older
+                    # records' sketches are stale the moment a newer
+                    # version commits (with or without one of its own).
+                    sketch = record.get("sketch")
+                    st.sketch = list(sketch) if sketch else None
                 return offset + length
             if rtype in (REC_RELEASE, REC_QUARANTINE):
                 st = self._classes.get(record["class_id"])
                 if st is not None:
                     st.entries.clear()
                     st.latest = None
+                    st.sketch = None
+                return 0
+            if rtype == REC_HITS:
+                st = self._classes.get(record["class_id"])
+                if st is not None:
+                    st.hits = max(st.hits, int(record["hits"]))
                 return 0
             if rtype == REC_EVICT:
                 st = self._classes.get(record["class_id"])
@@ -411,12 +427,16 @@ class Store:
         version: int,
         document: bytes,
         doc_checksum: int | None = None,
+        signature: "tuple[int, ...] | list[int] | None" = None,
     ) -> PackEntry:
         """Durably commit one base-file version (the crash-safe path).
 
         Encoded as a delta against the class's previous committed version
         while the chain stays under ``snapshot_every``, as a full
         snapshot otherwise (or whenever the delta fails to win).
+        ``signature`` is the base's MinHash sketch; persisting it means a
+        warm restart re-registers the class in the LSH candidate index
+        without re-sketching the materialized document.
         """
         started = time.perf_counter()
         if doc_checksum is None:
@@ -427,21 +447,21 @@ class Store:
                 raise StoreError(f"unknown class {class_id!r}")
             body, encoding, parent, chain = self._encode_body(st, document)
             offset, length = self._pack.append(body, sync=self._fsync)
-            self._append(
-                {
-                    "type": REC_BASE,
-                    "class_id": class_id,
-                    "version": version,
-                    "offset": offset,
-                    "length": length,
-                    "encoding": encoding,
-                    "parent": parent,
-                    "chain": chain,
-                    "doc_checksum": doc_checksum,
-                    "doc_bytes": len(document),
-                },
-                sync=self._fsync,
-            )
+            record = {
+                "type": REC_BASE,
+                "class_id": class_id,
+                "version": version,
+                "offset": offset,
+                "length": length,
+                "encoding": encoding,
+                "parent": parent,
+                "chain": chain,
+                "doc_checksum": doc_checksum,
+                "doc_bytes": len(document),
+            }
+            if signature is not None:
+                record["sketch"] = list(signature)
+            self._append(record, sync=self._fsync)
             replaced = st.entries.get(version)
             if replaced is not None:
                 self._live_bytes -= replaced.length
@@ -458,6 +478,7 @@ class Store:
             st.entries[version] = entry
             if st.latest is None or version >= st.latest:
                 st.latest = version
+                st.sketch = list(signature) if signature is not None else None
             self._live_bytes += length
             self._tips[class_id] = document
             self.stats.commits += 1
@@ -528,6 +549,25 @@ class Store:
                 self.stats.releases += 1
             return freed
 
+    def record_hits(self, class_id: str, hits: int) -> None:
+        """Checkpoint a class's absolute hit count (popularity).
+
+        Buffered, not fsync'd: losing the tail after a crash costs a few
+        hits of probe-ordering accuracy, nothing more.  Callers throttle
+        (see :class:`~repro.store.hooks.PersistentStoreHooks`) so the
+        journal grows by one small record per stride of hits, not per
+        request.  Monotone: a stale checkpoint never lowers the count.
+        """
+        with self._lock:
+            st = self._classes.get(class_id)
+            if st is None or hits <= st.hits:
+                return
+            st.hits = hits
+            self._append(
+                {"type": REC_HITS, "class_id": class_id, "hits": hits},
+                sync=False,
+            )
+
     def _drop_payloads(self, class_id: str) -> int:
         st = self._classes.get(class_id)
         if st is None:
@@ -535,6 +575,7 @@ class Store:
         freed = st.live_bytes
         st.entries.clear()
         st.latest = None
+        st.sketch = None
         self._live_bytes -= freed
         self._tips.pop(class_id, None)
         return freed
@@ -764,26 +805,37 @@ class Store:
                             },
                             sync=False,
                         )
+                    if st.hits:
+                        new_journal.append(
+                            {
+                                "type": REC_HITS,
+                                "class_id": st.class_id,
+                                "hits": st.hits,
+                            },
+                            sync=False,
+                        )
                     for version in sorted(st.entries):
                         entry = st.entries[version]
                         body = self._pack.read(entry.offset, entry.length)
                         offset, length = new_pack.append(body, sync=False)
                         moves[(st.class_id, version)] = (offset, length)
-                        new_journal.append(
-                            {
-                                "type": REC_BASE,
-                                "class_id": st.class_id,
-                                "version": version,
-                                "offset": offset,
-                                "length": length,
-                                "encoding": entry.encoding,
-                                "parent": entry.parent,
-                                "chain": entry.chain,
-                                "doc_checksum": entry.doc_checksum,
-                                "doc_bytes": entry.doc_bytes,
-                            },
-                            sync=False,
-                        )
+                        record = {
+                            "type": REC_BASE,
+                            "class_id": st.class_id,
+                            "version": version,
+                            "offset": offset,
+                            "length": length,
+                            "encoding": entry.encoding,
+                            "parent": entry.parent,
+                            "chain": entry.chain,
+                            "doc_checksum": entry.doc_checksum,
+                            "doc_bytes": entry.doc_bytes,
+                        }
+                        # The sketch describes the latest base only; it
+                        # must survive compaction like any other fact.
+                        if version == st.latest and st.sketch:
+                            record["sketch"] = st.sketch
+                        new_journal.append(record, sync=False)
                 new_pack.sync()
                 new_journal.sync()
             except Exception:
@@ -799,7 +851,7 @@ class Store:
             old_pack, old_journal = self._pack, self._journal
             self._pack, self._journal = new_pack, new_journal
             self._journal.records = self.stats.journal_records = sum(
-                1 + len(st.members) + len(st.entries)
+                1 + len(st.members) + len(st.entries) + (1 if st.hits else 0)
                 for st in self._classes.values()
             )
             self._generation = new_generation
